@@ -1,0 +1,391 @@
+package exlengine
+
+// Benchmark harness: one benchmark per experiment of EXPERIMENTS.md.
+// The paper (an industrial experience paper) publishes no numeric tables;
+// E1-E5 regenerate its artifacts (tgds, SQL, R/Matlab, ETL flows, the
+// Figure 2 end-to-end run) and E6-E10 measure the performance properties
+// its claims imply. `go test -bench=. -benchmem` runs them all;
+// `cmd/exlbench` prints the same experiments as human-readable tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"exlengine/internal/chase"
+	"exlengine/internal/engine"
+	"exlengine/internal/etl"
+	"exlengine/internal/exl"
+	"exlengine/internal/frame"
+	"exlengine/internal/mapping"
+	"exlengine/internal/matlabgen"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+	"exlengine/internal/rgen"
+	"exlengine/internal/sqlengine"
+	"exlengine/internal/sqlgen"
+	"exlengine/internal/workload"
+)
+
+func mustAnalyze(b *testing.B, src string) *exl.Analyzed {
+	b.Helper()
+	prog, err := exl.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := exl.Analyze(prog, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func mustCompile(b *testing.B, src string) *mapping.Mapping {
+	b.Helper()
+	m, err := mapping.Generate(mustAnalyze(b, src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkE1_MappingGeneration measures the Section 4.1 pipeline: parse,
+// analyze, normalize, generate tgds and fuse, for the paper's GDP program.
+func BenchmarkE1_MappingGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := exl.Parse(workload.GDPProgram)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := exl.Analyze(prog, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mapping.Generate(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_SQLTranslation measures tgd -> SQL generation (Section 5.1).
+func BenchmarkE2_SQLTranslation(b *testing.B) {
+	m := mustCompile(b, workload.GDPProgram)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlgen.Translate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_FrameTranslation measures tgd -> frame IR -> R and Matlab
+// source generation (Section 5.2).
+func BenchmarkE3_FrameTranslation(b *testing.B) {
+	m := mustCompile(b, workload.GDPProgram)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rgen.Translate(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := matlabgen.Translate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_ETLFlowGeneration measures tgd -> ETL job generation
+// (Section 5.3 / Figure 1).
+func BenchmarkE4_ETLFlowGeneration(b *testing.B) {
+	m := mustCompile(b, workload.GDPProgram)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := etl.Translate(m, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_EndToEnd measures the complete Figure 2 pipeline:
+// determination, partitioning, mixed-target dispatch and storage.
+func BenchmarkE5_EndToEnd(b *testing.B) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 1000, Regions: 10})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.WithParallelDispatch())
+		if err := eng.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Unix(0, 0)
+		for _, name := range []string{"PDR", "RGDPPC"} {
+			if err := eng.PutCube(data[name], t0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.RunAllAt(t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runTarget(b *testing.B, target ops.Target, m *mapping.Mapping, data workload.Data) map[string]*model.Cube {
+	b.Helper()
+	switch target {
+	case ops.TargetChase:
+		sol, err := chase.New(m).Solve(chase.Instance(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sol
+	case ops.TargetSQL:
+		db := sqlengine.NewDB()
+		for _, name := range m.Elementary {
+			if err := db.LoadCube(data[name]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		script, err := sqlgen.Translate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sqlgen.Execute(script, db); err != nil {
+			b.Fatal(err)
+		}
+		out := make(map[string]*model.Cube)
+		for _, rel := range m.Derived {
+			c, err := db.ExtractCube(m.Schemas[rel])
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[rel] = c
+		}
+		return out
+	case ops.TargetETL:
+		job, err := etl.Translate(m, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := etl.Run(job, m, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return out
+	case ops.TargetFrame:
+		script, err := frame.Translate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := frame.Execute(script, m, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return out
+	}
+	b.Fatalf("unknown target %s", target)
+	return nil
+}
+
+// BenchmarkE6_TargetComparison runs the full GDP program on every target
+// over growing inputs: the paper's interchangeability claim, measured.
+func BenchmarkE6_TargetComparison(b *testing.B) {
+	m := mustCompile(b, workload.GDPProgram)
+	for _, days := range []int{100, 1000, 10000} {
+		data := workload.GDPSource(workload.GDPConfig{Days: days, Regions: 20})
+		for _, target := range ops.AllTargets {
+			b.Run(fmt.Sprintf("%s/days=%d", target, days), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out := runTarget(b, target, m, data)
+					if out["PCHNG"] == nil {
+						b.Fatal("missing PCHNG")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE7_TranslateVsExecute contrasts offline translation cost with
+// online calculation cost (Section 6's "does not affect the global elapsed
+// time").
+func BenchmarkE7_TranslateVsExecute(b *testing.B) {
+	m := mustCompile(b, workload.GDPProgram)
+	data := workload.GDPSource(workload.GDPConfig{Days: 10000, Regions: 20})
+	b.Run("translate-all-targets", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sqlgen.Translate(m); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rgen.Translate(m); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := matlabgen.Translate(m); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := etl.Translate(m, "bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("execute-sql-10000d", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runTarget(b, ops.TargetSQL, m, data)
+		}
+	})
+}
+
+// BenchmarkE8_IncrementalVsFull measures the determination engine's
+// incremental recalculation against a full run over a 32-program catalog.
+func BenchmarkE8_IncrementalVsFull(b *testing.B) {
+	const nProg, months = 32, 240 // series length chosen so one full run is ~100ms
+	programs := make(map[string]string, nProg)
+	data := workload.Data{}
+	for i := 0; i < nProg; i++ {
+		programs[fmt.Sprintf("p%02d", i)] = fmt.Sprintf(`
+cube S%02d(t: month) measure v
+A%02d := S%02d * 2
+B%02d := movavg(A%02d, 3)
+C%02d := (B%02d - shift(B%02d, 1)) * 100 / shift(B%02d, 1)
+`, i, i, i, i, i, i, i, i, i)
+		data[fmt.Sprintf("S%02d", i)] = workload.Series(workload.SeriesConfig{
+			Name: fmt.Sprintf("S%02d", i), Freq: model.Monthly, N: months,
+			Seed: int64(i + 1), Level: 100, Trend: 0.5, SeasonAmp: 5, NoiseAmp: 1,
+		})
+	}
+	build := func(opts ...engine.Option) *engine.Engine {
+		eng := engine.New(opts...)
+		for i := 0; i < nProg; i++ {
+			name := fmt.Sprintf("p%02d", i)
+			if err := eng.RegisterProgram(name, programs[name]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, c := range data {
+			if err := eng.PutCube(c, time.Unix(0, 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return eng
+	}
+	b.Run("full", func(b *testing.B) {
+		eng := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunAllAt(time.Unix(int64(i+1), 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-parallel", func(b *testing.B) {
+		// Component-aware partitioning + wave-parallel dispatch: the 32
+		// independent programs overlap (Section 6's parallelization).
+		eng := build(engine.WithParallelDispatch())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunAllAt(time.Unix(int64(i+1), 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental-1-leaf", func(b *testing.B) {
+		eng := build()
+		if _, err := eng.RunAllAt(time.Unix(1, 0)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RecalculateAt(time.Unix(int64(i+2), 0), "S00"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9_FusionAblation compares chasing the fused mapping (one tgd
+// per statement) with the normalized one (one tgd per operator, auxiliary
+// cubes materialized). The program is a tuple-level scalar chain, the case
+// where normalization materializes several full-size auxiliary cubes.
+func BenchmarkE9_FusionAblation(b *testing.B) {
+	const chainProgram = `
+cube A(t: day) measure v
+B := ((((A * 2) + A) / 3 - A) * 100) / (A + 1)
+`
+	fused, err := mapping.Generate(mustAnalyze(b, chainProgram))
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm, err := mapping.GenerateNormalized(mustAnalyze(b, chainProgram))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := workload.Data{"A": workload.Series(workload.SeriesConfig{
+		Name: "A", Freq: model.Daily, N: 100000, Level: 50, Trend: 0.01, NoiseAmp: 1, Seed: 9,
+	})}
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := chase.New(fused).Solve(chase.Instance(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("normalized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := chase.New(norm).Solve(chase.Instance(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Section 6 variant: auxiliaries as relational views on the SQL target.
+	runSQL := func(b *testing.B, opts sqlgen.Options) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := sqlengine.NewDB()
+			for _, name := range norm.Elementary {
+				if err := db.LoadCube(data[name]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			script, err := sqlgen.TranslateWith(norm, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sqlgen.Execute(script, db); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.ExtractCube(norm.Schemas["B"]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("normalized-sql-tables", func(b *testing.B) { runSQL(b, sqlgen.Options{}) })
+	b.Run("normalized-sql-views", func(b *testing.B) { runSQL(b, sqlgen.Options{AuxAsViews: true}) })
+}
+
+// BenchmarkE10_ChaseScaling measures the stratified chase over growing
+// source instances.
+func BenchmarkE10_ChaseScaling(b *testing.B) {
+	m := mustCompile(b, workload.GDPProgram)
+	for _, rows := range []int{1000, 10000, 100000} {
+		data := workload.GDPSource(workload.GDPConfig{Days: rows / 20, Regions: 20})
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.New(m).Solve(chase.Instance(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

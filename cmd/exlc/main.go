@@ -1,0 +1,109 @@
+// Command exlc is the EXL compiler: it parses an EXL program, generates
+// its schema mapping and emits a chosen artifact — the tgds in logic
+// notation, an executable SQL script, R or Matlab source, or the ETL job
+// metadata as JSON.
+//
+// Usage:
+//
+//	exlc -emit tgds|sql|r|matlab|etl|summary [-normalized] program.exl
+//
+// With no file argument the program is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exlengine/internal/etl"
+	"exlengine/internal/exl"
+	"exlengine/internal/mapping"
+	"exlengine/internal/matlabgen"
+	"exlengine/internal/rgen"
+	"exlengine/internal/sqlgen"
+)
+
+func main() {
+	emit := flag.String("emit", "tgds", "artifact to emit: tgds, sql, r, matlab, etl, summary")
+	normalized := flag.Bool("normalized", false, "skip the fusion pass (one tgd per operator)")
+	views := flag.Bool("views", false, "emit auxiliary relations as SQL views (with -emit sql)")
+	flag.Parse()
+
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := exl.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := exl.Analyze(prog, nil)
+	if err != nil {
+		fatal(err)
+	}
+	var m *mapping.Mapping
+	if *normalized {
+		m, err = mapping.GenerateNormalized(a)
+	} else {
+		m, err = mapping.Generate(a)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := render(m, *emit, *views)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+	if len(out) > 0 && out[len(out)-1] != '\n' {
+		fmt.Println()
+	}
+}
+
+func render(m *mapping.Mapping, kind string, views bool) (string, error) {
+	switch kind {
+	case "tgds":
+		return m.String(), nil
+	case "sql":
+		script, err := sqlgen.TranslateWith(m, sqlgen.Options{AuxAsViews: views})
+		if err != nil {
+			return "", err
+		}
+		return script.String(), nil
+	case "r":
+		return rgen.Translate(m)
+	case "matlab":
+		return matlabgen.Translate(m)
+	case "etl":
+		job, err := etl.Translate(m, "exlc")
+		if err != nil {
+			return "", err
+		}
+		raw, err := job.MarshalMetadata()
+		return string(raw), err
+	case "summary":
+		job, err := etl.Translate(m, "exlc")
+		if err != nil {
+			return "", err
+		}
+		return job.Summary(), nil
+	default:
+		return "", fmt.Errorf("unknown artifact kind %q", kind)
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "" || path == "-" {
+		raw, err := io.ReadAll(os.Stdin)
+		return string(raw), err
+	}
+	raw, err := os.ReadFile(path)
+	return string(raw), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exlc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command exlrun executes an EXL program over CSV data on a chosen target
+// engine and writes every derived cube back as CSV.
+//
+// Usage:
+//
+//	exlrun -program program.exl -data dir [-target auto|chase|sql|etl|frame] [-out dir]
+//
+// The data directory must contain one <CUBE>.csv file per elementary cube,
+// with a header naming the dimensions (in declaration order) followed by
+// the measure. Results are written to the output directory (default: the
+// data directory) as <CUBE>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"exlengine/internal/engine"
+	"exlengine/internal/exl"
+	"exlengine/internal/ops"
+)
+
+func main() {
+	programPath := flag.String("program", "", "EXL program file")
+	dataDir := flag.String("data", "", "directory with <CUBE>.csv inputs")
+	target := flag.String("target", "auto", "execution target: auto, chase, sql, etl, frame")
+	outDir := flag.String("out", "", "output directory (default: the data directory)")
+	verbose := flag.Bool("v", false, "print the run report")
+	flag.Parse()
+
+	if *programPath == "" || *dataDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *outDir == "" {
+		*outDir = *dataDir
+	}
+
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	eng := engine.New(engine.WithParallelDispatch())
+	if err := eng.RegisterProgram("main", string(src)); err != nil {
+		fatal(err)
+	}
+
+	// Load every elementary cube the program declares.
+	prog, err := exl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	a, err := exl.Analyze(prog, nil)
+	if err != nil {
+		fatal(err)
+	}
+	now := time.Now()
+	for _, name := range a.Elementary {
+		path := filepath.Join(*dataDir, name+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(fmt.Errorf("input for cube %s: %w", name, err))
+		}
+		err = eng.LoadCSV(name, f, now)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var report *engine.Report
+	if *target == "auto" {
+		report, err = eng.RunAll()
+	} else {
+		report, err = eng.RunAllOn(ops.Target(*target))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Printf("plan: %v\n", report.Plan)
+		for _, s := range report.Subgraphs {
+			fmt.Printf("  %-6s %v\n", s.Target, s.Cubes)
+		}
+		fmt.Printf("elapsed: %v\n", report.Elapsed)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range a.Derived {
+		path := filepath.Join(*outDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = eng.WriteCSV(name, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exlrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Command exlsh is an interactive EXL console, standing in for the IDE
+// tools of the paper's Section 6 with which statisticians write and
+// validate programs. Cube declarations and statements are validated and
+// registered as they are typed; derived cubes are recalculated immediately
+// through the engine's determination and dispatch machinery.
+//
+//	$ exlsh
+//	exl> cube A(t: year) measure v
+//	exl> \loadcsv A data/a.csv
+//	exl> B := cumsum(A)
+//	B: 6 tuples
+//	exl> \show B
+//	exl> \sql
+//	exl> \quit
+//
+// Commands: \load, \show, \cubes, \programs, \run, \tgds, \sql, \r,
+// \matlab, \etl, \help, \quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"exlengine/internal/engine"
+	"exlengine/internal/exl"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+)
+
+func main() {
+	sh := newShell(os.Stdin, os.Stdout)
+	sh.run()
+}
+
+type shell struct {
+	in       *bufio.Scanner
+	out      io.Writer
+	eng      *engine.Engine
+	counter  int
+	lastProg string
+}
+
+func newShell(in io.Reader, out io.Writer) *shell {
+	return &shell{
+		in:  bufio.NewScanner(in),
+		out: out,
+		eng: engine.New(engine.WithParallelDispatch()),
+	}
+}
+
+func (sh *shell) printf(format string, args ...interface{}) {
+	fmt.Fprintf(sh.out, format, args...)
+}
+
+func (sh *shell) run() {
+	sh.printf("exlengine interactive console — \\help for commands\n")
+	for {
+		sh.printf("exl> ")
+		if !sh.in.Scan() {
+			sh.printf("\n")
+			return
+		}
+		line := strings.TrimSpace(sh.in.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "\\"):
+			if sh.command(line) {
+				return
+			}
+		default:
+			sh.statement(line)
+		}
+	}
+}
+
+// statement handles a cube declaration or an assignment.
+func (sh *shell) statement(line string) {
+	prog, err := exl.Parse(line)
+	if err != nil {
+		sh.printf("error: %v\n", err)
+		return
+	}
+	sh.counter++
+	name := fmt.Sprintf("repl_%03d", sh.counter)
+	if err := sh.eng.RegisterProgram(name, line); err != nil {
+		sh.counter--
+		sh.printf("error: %v\n", err)
+		return
+	}
+	sh.lastProg = name
+	for _, d := range prog.Decls {
+		sh.printf("declared %s\n", d.Name)
+	}
+	// Recalculate the newly derived cubes right away.
+	for _, s := range prog.Stmts {
+		if _, err := sh.eng.Recalculate(s.Lhs); err != nil {
+			sh.printf("error computing %s: %v\n", s.Lhs, err)
+			continue
+		}
+		if c, ok := sh.eng.Cube(s.Lhs); ok {
+			sh.printf("%s: %d tuples\n", s.Lhs, c.Len())
+		}
+	}
+}
+
+// command handles a backslash command; it reports whether to exit.
+func (sh *shell) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q", "\\exit":
+		return true
+	case "\\help":
+		sh.printf(`statements:
+  cube NAME(dim: type, ...) [measure NAME]   declare an elementary cube
+  NAME := expression                         derive (and compute) a cube
+commands:
+  \load CUBE FILE.csv     load a cube version from CSV
+  \show CUBE [N]          print up to N tuples (default 10)
+  \cubes                  list declared cubes
+  \programs               list registered programs
+  \run [target]           recalculate everything (chase|sql|etl|frame|auto)
+  \tgds | \sql | \r | \matlab | \etl [PROG]  show the artifact of a program
+  \quit
+`)
+	case "\\load":
+		if len(fields) != 3 {
+			sh.printf("usage: \\load CUBE FILE.csv\n")
+			return false
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			sh.printf("error: %v\n", err)
+			return false
+		}
+		defer f.Close()
+		if err := sh.eng.LoadCSV(fields[1], f, time.Now()); err != nil {
+			sh.printf("error: %v\n", err)
+			return false
+		}
+		c, _ := sh.eng.Cube(fields[1])
+		sh.printf("%s: %d tuples loaded\n", fields[1], c.Len())
+	case "\\show":
+		if len(fields) < 2 {
+			sh.printf("usage: \\show CUBE [N]\n")
+			return false
+		}
+		c, ok := sh.eng.Cube(fields[1])
+		if !ok {
+			sh.printf("error: cube %s has no data\n", fields[1])
+			return false
+		}
+		n := 10
+		if len(fields) > 2 {
+			fmt.Sscanf(fields[2], "%d", &n)
+		}
+		sh.showCube(c, n)
+	case "\\cubes":
+		for _, name := range sh.eng.CubeNames() {
+			sch, _ := sh.eng.Schema(name)
+			marker := " "
+			if c, ok := sh.eng.Cube(name); ok {
+				marker = fmt.Sprintf("%d tuples", c.Len())
+			}
+			sh.printf("  %-30s %s\n", sch, marker)
+		}
+	case "\\programs":
+		for _, p := range sh.eng.Programs() {
+			sh.printf("  %s\n", p)
+		}
+	case "\\run":
+		target := "auto"
+		if len(fields) > 1 {
+			target = fields[1]
+		}
+		var rep *engine.Report
+		var err error
+		if target == "auto" {
+			rep, err = sh.eng.RunAll()
+		} else {
+			rep, err = sh.eng.RunAllOn(ops.Target(target))
+		}
+		if err != nil {
+			sh.printf("error: %v\n", err)
+			return false
+		}
+		for _, s := range rep.Subgraphs {
+			sh.printf("  %-6s %v\n", s.Target, s.Cubes)
+		}
+		sh.printf("recalculated %d cubes in %v\n", len(rep.Plan), rep.Elapsed.Round(time.Millisecond))
+	case "\\tgds", "\\sql", "\\r", "\\matlab", "\\etl":
+		prog := sh.lastProg
+		if len(fields) > 1 {
+			prog = fields[1]
+		}
+		if prog == "" {
+			sh.printf("error: no program yet\n")
+			return false
+		}
+		kind := strings.TrimPrefix(fields[0], "\\")
+		out, err := sh.eng.Translate(prog, kind)
+		if err != nil {
+			sh.printf("error: %v\n", err)
+			return false
+		}
+		sh.printf("%s\n", out)
+	default:
+		sh.printf("unknown command %s (try \\help)\n", fields[0])
+	}
+	return false
+}
+
+func (sh *shell) showCube(c *model.Cube, n int) {
+	sch := c.Schema()
+	header := append(append([]string(nil), sch.DimNames()...), sch.Measure)
+	sh.printf("%s\n", strings.Join(header, "\t"))
+	for i, tu := range c.Tuples() {
+		if i >= n {
+			sh.printf("... (%d more)\n", c.Len()-n)
+			return
+		}
+		parts := make([]string, 0, len(header))
+		for _, d := range tu.Dims {
+			parts = append(parts, d.String())
+		}
+		parts = append(parts, fmt.Sprintf("%g", tu.Measure))
+		sh.printf("%s\n", strings.Join(parts, "\t"))
+	}
+}

@@ -1,0 +1,105 @@
+package exlengine_test
+
+import (
+	"fmt"
+	"time"
+
+	"exlengine"
+)
+
+// ExampleCompile shows the paper's Section 2 pipeline: an EXL program is
+// translated into a schema mapping whose tgds can be inspected directly.
+func ExampleCompile() {
+	m, err := exlengine.Compile(`
+cube PDR(d: day, r: string) measure p
+cube RGDPPC(q: quarter, r: string) measure g
+
+PQR    := avg(PDR, group by quarter(d) as q, r)
+RGDP   := RGDPPC * PQR
+GDP    := sum(RGDP, group by q)
+GDPT   := stl_t(GDP)
+PCHNG  := (GDPT - shift(GDPT, 1)) * 100 / GDPT
+`, nil)
+	if err != nil {
+		panic(err)
+	}
+	for i, t := range m.Tgds {
+		fmt.Printf("(%d) %s\n", i+1, t)
+	}
+	// Output:
+	// (1) PDR(d, r, p) → PQR(quarter(d), r, avg(p))
+	// (2) RGDPPC(q, r, g) ∧ PQR(q, r, p) → RGDP(q, r, (g * p))
+	// (3) RGDP(q, r, g) → GDP(q, sum(g))
+	// (4) GDP → GDPT(stl_t(GDP))
+	// (5) GDPT(q, y1) ∧ GDPT(q-1, y2) → PCHNG(q, (((y1 - y2) * 100) / y1))
+}
+
+// ExampleEngine runs a small program end to end: register, load, run,
+// read the derived cube back.
+func ExampleEngine() {
+	eng := exlengine.New()
+	if err := eng.RegisterProgram("demo", `
+cube SALES(m: month) measure s
+
+CUM := cumsum(SALES)
+`); err != nil {
+		panic(err)
+	}
+
+	sales := exlengine.NewCube(exlengine.NewSchema("SALES",
+		[]exlengine.Dim{{Name: "m", Type: exlengine.TMonth}}, "s"))
+	for i, v := range []float64{10, 20, 30} {
+		m := exlengine.Per(exlengine.NewMonthly(2024, time.January).Shift(int64(i)))
+		if err := sales.Put([]exlengine.Value{m}, v); err != nil {
+			panic(err)
+		}
+	}
+	if err := eng.PutCube(sales, time.Unix(0, 0)); err != nil {
+		panic(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		panic(err)
+	}
+
+	cum, _ := eng.Cube("CUM")
+	for _, tu := range cum.Tuples() {
+		fmt.Printf("%s %g\n", tu.Dims[0], tu.Measure)
+	}
+	// Output:
+	// 2024-01 10
+	// 2024-02 30
+	// 2024-03 60
+}
+
+// ExampleEngine_Translate prints the SQL generated for a program, the
+// executable form delegated to a DBMS target (Section 5.1).
+func ExampleEngine_Translate() {
+	eng := exlengine.New()
+	if err := eng.RegisterProgram("p", `
+cube A(q: quarter, r: string) measure v
+
+TOT := sum(A, group by q)
+`); err != nil {
+		panic(err)
+	}
+	sql, err := eng.Translate("p", exlengine.ArtifactSQL)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sql)
+	// Output:
+	// CREATE TABLE TOT (q QUARTER, v DOUBLE);
+	// -- t1 -> TOT
+	// INSERT INTO TOT(q, v)
+	// SELECT C1.q AS q, SUM(C1.v) AS v
+	// FROM A C1
+	// GROUP BY C1.q;
+}
+
+// ExampleValidate shows the IDE-style validation of a malformed program.
+func ExampleValidate() {
+	err := exlengine.Validate("B := NOPE * 2", nil)
+	fmt.Println(err)
+	// Output:
+	// exl: 1:6: unknown cube NOPE (not elementary, not derived by an earlier statement)
+}

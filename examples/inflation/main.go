@@ -1,0 +1,105 @@
+// Inflation computes a consumer price index from item prices and basket
+// weights, demonstrating CSV data loading, multi-frequency aggregation
+// (monthly index, yearly average) and the incremental recalculation of
+// Section 6: when one elementary cube changes, only the affected cubes are
+// recomputed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"exlengine"
+)
+
+const cpiProgram = `
+cube PRICE(m: month, i: string) measure p
+cube WEIGHT(i: string) measure w
+
+WP   := PRICE * WEIGHT
+CPI  := sum(WP, group by m)
+CPIY := avg(CPI, group by year(m) as y)
+INFL := (CPI - shift(CPI, 12)) * 100 / shift(CPI, 12)
+`
+
+func main() {
+	eng := exlengine.New()
+	if err := eng.RegisterProgram("cpi", cpiProgram); err != nil {
+		log.Fatal(err)
+	}
+
+	// Basket weights arrive as CSV (for example from a survey system).
+	weights := `i,w
+food,0.35
+energy,0.15
+services,0.30
+goods,0.20
+`
+	t0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := eng.LoadCSV("WEIGHT", strings.NewReader(weights), t0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three years of monthly prices with item-specific trends.
+	price := exlengine.NewCube(exlengine.NewSchema("PRICE",
+		[]exlengine.Dim{{Name: "m", Type: exlengine.TMonth}, {Name: "i", Type: exlengine.TString}}, "p"))
+	trends := map[string]float64{"food": 0.004, "energy": 0.009, "services": 0.003, "goods": 0.002}
+	start := exlengine.NewMonthly(2021, time.January)
+	for k := 0; k < 36; k++ {
+		m := exlengine.Per(start.Shift(int64(k)))
+		for item, tr := range trends {
+			p := 100 * math.Pow(1+tr, float64(k)) * (1 + 0.01*math.Sin(2*math.Pi*float64(k)/12))
+			if err := price.Put([]exlengine.Value{m, exlengine.Str(item)}, p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := eng.PutCube(price, t0); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := eng.RunAllAt(t0); err != nil {
+		log.Fatal(err)
+	}
+
+	cpiy, _ := eng.Cube("CPIY")
+	fmt.Println("yearly average CPI:")
+	for _, tu := range cpiy.Tuples() {
+		fmt.Printf("  %s  %8.2f\n", tu.Dims[0], tu.Measure)
+	}
+	infl, _ := eng.Cube("INFL")
+	fmt.Println("\nyear-over-year inflation, last 6 months:")
+	ts := infl.Tuples()
+	for _, tu := range ts[len(ts)-6:] {
+		fmt.Printf("  %s  %6.2f%%\n", tu.Dims[0], tu.Measure)
+	}
+
+	// The basket is revised: energy weighs more. Only the cubes downstream
+	// of WEIGHT are recalculated; the determination engine finds them.
+	revised := `i,w
+food,0.30
+energy,0.25
+services,0.28
+goods,0.17
+`
+	t1 := t0.AddDate(0, 6, 0)
+	if err := eng.LoadCSV("WEIGHT", strings.NewReader(revised), t1); err != nil {
+		log.Fatal(err)
+	}
+	report, err := eng.RecalculateAt(t1, "WEIGHT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbasket revision recalculated %d cubes: %v\n", len(report.Plan), report.Plan)
+
+	// Historicity: both index versions remain addressable.
+	before, _ := eng.CubeAsOf("CPI", t0)
+	after, _ := eng.CubeAsOf("CPI", t1)
+	lastMonth := []exlengine.Value{exlengine.Per(start.Shift(35))}
+	b, _ := before.Get(lastMonth)
+	a, _ := after.Get(lastMonth)
+	fmt.Printf("CPI %s: %.2f with the old basket, %.2f with the revised one\n", start.Shift(35), b, a)
+}

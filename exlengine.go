@@ -1,0 +1,186 @@
+// Package exlengine is a Go implementation of EXLEngine (Atzeni,
+// Bellomarini, Bugiotti — EDBT 2013): executable schema mappings for
+// statistical data processing.
+//
+// Statistical programs are written in EXL, a declarative expression
+// language over dimensional cubes. Each program is translated into a
+// schema mapping — extended tuple-generating dependencies plus
+// functionality egds forming a data-exchange setting — and the mapping is
+// translated into executables for several target systems: an in-memory
+// SQL database, a data-frame engine standing in for R/Matlab (with R and
+// Matlab source printers), and a streaming ETL engine. A stratified chase
+// provides the reference data-exchange semantics every target is validated
+// against.
+//
+// The top-level entry point is the Engine, which mirrors the paper's
+// architecture: a metadata catalog of cubes and programs, a determination
+// engine that decides what to recalculate when elementary cubes change, a
+// translation engine producing the mappings and their executables offline,
+// and a dispatcher running each subgraph on its preferred target.
+//
+//	eng := exlengine.New()
+//	_ = eng.RegisterProgram("gdp", gdpSource)
+//	_ = eng.PutCube(pdr, time.Now())
+//	_ = eng.PutCube(rgdppc, time.Now())
+//	report, _ := eng.RunAll()
+//	gdp, _ := eng.Cube("GDP")
+package exlengine
+
+import (
+	"exlengine/internal/engine"
+	"exlengine/internal/exl"
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+)
+
+// Core engine types.
+type (
+	// Engine is a complete EXLEngine instance: catalog, determination,
+	// translation and dispatch over a versioned cube store.
+	Engine = engine.Engine
+	// Option configures an Engine.
+	Option = engine.Option
+	// Report describes what a run recalculated and where.
+	Report = engine.Report
+	// SubgraphInfo is one dispatched fragment of a run.
+	SubgraphInfo = engine.SubgraphInfo
+)
+
+// Data model types.
+type (
+	// Schema describes a cube: identifier, typed dimensions, measure.
+	Schema = model.Schema
+	// Dim is a named, typed cube dimension.
+	Dim = model.Dim
+	// DimType is a dimension type (string, int, or a time frequency).
+	DimType = model.DimType
+	// Cube is an in-memory cube instance (a partial function from
+	// dimension tuples to a numeric measure).
+	Cube = model.Cube
+	// Tuple is one cube tuple.
+	Tuple = model.Tuple
+	// Value is a dynamically typed dimension value.
+	Value = model.Value
+	// Period is a typed time period (day, month, quarter, year).
+	Period = model.Period
+	// Frequency is a time-period frequency.
+	Frequency = model.Frequency
+)
+
+// Mapping types.
+type (
+	// Mapping is a generated schema mapping M = (S, T, Σst, Σt).
+	Mapping = mapping.Mapping
+	// Tgd is an extended tuple-generating dependency.
+	Tgd = mapping.Tgd
+	// Egd is a functionality equality-generating dependency.
+	Egd = mapping.Egd
+)
+
+// Target identifies an execution target system.
+type Target = ops.Target
+
+// Execution targets.
+const (
+	TargetChase = ops.TargetChase
+	TargetSQL   = ops.TargetSQL
+	TargetETL   = ops.TargetETL
+	TargetFrame = ops.TargetFrame
+)
+
+// Artifact kinds accepted by Engine.Translate.
+const (
+	ArtifactTgds   = engine.ArtifactTgds
+	ArtifactSQL    = engine.ArtifactSQL
+	ArtifactR      = engine.ArtifactR
+	ArtifactMatlab = engine.ArtifactMatlab
+	ArtifactETL    = engine.ArtifactETL
+)
+
+// Dimension type constructors.
+var (
+	TString  = model.TString
+	TInt     = model.TInt
+	TDay     = model.TDay
+	TMonth   = model.TMonth
+	TQuarter = model.TQuarter
+	TYear    = model.TYear
+)
+
+// New returns an empty engine.
+func New(opts ...Option) *Engine { return engine.New(opts...) }
+
+// WithParallelDispatch enables concurrent execution of independent
+// subgraphs during runs.
+func WithParallelDispatch() Option { return engine.WithParallelDispatch() }
+
+// NewSchema builds a cube schema; an empty measure name defaults to
+// "value".
+func NewSchema(name string, dims []Dim, measure string) Schema {
+	return model.NewSchema(name, dims, measure)
+}
+
+// NewCube returns an empty cube instance for the schema.
+func NewCube(sch Schema) *Cube { return model.NewCube(sch) }
+
+// Value constructors.
+var (
+	Num  = model.Num
+	Str  = model.Str
+	Int  = model.Int
+	Per  = model.Per
+	Bool = model.Bool
+)
+
+// Period constructors.
+var (
+	NewDaily     = model.NewDaily
+	NewMonthly   = model.NewMonthly
+	NewQuarterly = model.NewQuarterly
+	NewAnnual    = model.NewAnnual
+	ParsePeriod  = model.ParsePeriod
+)
+
+// Compile parses and analyzes an EXL program (with optional external cube
+// schemas) and generates its fused schema mapping — the paper's Section 4
+// pipeline without execution. Use it to inspect tgds or feed the
+// translators directly.
+func Compile(src string, external map[string]Schema) (*Mapping, error) {
+	prog, err := exl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	a, err := exl.Analyze(prog, external)
+	if err != nil {
+		return nil, err
+	}
+	return mapping.Generate(a)
+}
+
+// Validate parses and type-checks an EXL program without generating a
+// mapping — the check the paper's IDE tools run while statisticians type.
+// It returns nil when the program is well-formed against the external
+// schemas.
+func Validate(src string, external map[string]Schema) error {
+	prog, err := exl.Parse(src)
+	if err != nil {
+		return err
+	}
+	_, err = exl.Analyze(prog, external)
+	return err
+}
+
+// CompileNormalized is Compile without the fusion pass: every statement is
+// decomposed into single-operator tgds over auxiliary cubes.
+func CompileNormalized(src string, external map[string]Schema) (*Mapping, error) {
+	prog, err := exl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	a, err := exl.Analyze(prog, external)
+	if err != nil {
+		return nil, err
+	}
+	return mapping.GenerateNormalized(a)
+}

@@ -1,0 +1,123 @@
+package exlengine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, exactly as the
+// README quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	eng := New(WithParallelDispatch())
+	src := `
+cube SALES(m: month, shop: string) measure s
+
+TOTAL := sum(SALES, group by m)
+MA    := movavg(TOTAL, 3)
+GROWTH := (TOTAL - shift(TOTAL, 1)) * 100 / shift(TOTAL, 1)
+`
+	if err := eng.RegisterProgram("sales", src); err != nil {
+		t.Fatal(err)
+	}
+
+	sales := NewCube(NewSchema("SALES",
+		[]Dim{{Name: "m", Type: TMonth}, {Name: "shop", Type: TString}}, "s"))
+	for i := 0; i < 12; i++ {
+		m := Per(NewMonthly(2024, time.January).Shift(int64(i)))
+		if err := sales.Put([]Value{m, Str("rome")}, 100+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sales.Put([]Value{m, Str("milan")}, 200+float64(2*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.PutCube(sales, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := eng.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Plan) != 3 {
+		t.Errorf("plan = %v", rep.Plan)
+	}
+
+	total, ok := eng.Cube("TOTAL")
+	if !ok || total.Len() != 12 {
+		t.Fatalf("TOTAL = %v, %v", total, ok)
+	}
+	jan := []Value{Per(NewMonthly(2024, time.January))}
+	if got, _ := total.Get(jan); got != 300 {
+		t.Errorf("TOTAL(jan) = %v", got)
+	}
+	growth, _ := eng.Cube("GROWTH")
+	if growth.Len() != 11 {
+		t.Errorf("GROWTH len = %d", growth.Len())
+	}
+	feb := []Value{Per(NewMonthly(2024, time.February))}
+	want := (303.0 - 300.0) * 100 / 300.0
+	if got, _ := growth.Get(feb); !almost(got, want) {
+		t.Errorf("GROWTH(feb) = %v, want %v", got, want)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9*(1+b)
+}
+
+func TestFacadeCompile(t *testing.T) {
+	m, err := Compile("cube A(t: year) measure v\nB := A * 2\nC := (B - shift(B,1)) / shift(B,1)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tgds) != 2 {
+		t.Errorf("tgds:\n%s", m)
+	}
+	if !strings.Contains(m.String(), "t-1") {
+		t.Errorf("fused shift missing:\n%s", m)
+	}
+	n, err := CompileNormalized("cube A(t: year) measure v\nC := (A - shift(A,1)) / shift(A,1)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Tgds) <= 1 {
+		t.Errorf("normalized should have aux tgds:\n%s", n)
+	}
+	if _, err := Compile("garbage :=", nil); err == nil {
+		t.Error("bad program must fail")
+	}
+	if _, err := CompileNormalized("garbage :=", nil); err == nil {
+		t.Error("bad program must fail")
+	}
+}
+
+func TestFacadeValidate(t *testing.T) {
+	if err := Validate("cube A(t: year)\nB := A * 2", nil); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	if err := Validate("B := NOPE * 2", nil); err == nil {
+		t.Error("invalid program accepted")
+	}
+	if err := Validate("B := ", nil); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestFacadeExternalSchemas(t *testing.T) {
+	ext := map[string]Schema{
+		"X": NewSchema("X", []Dim{{Name: "q", Type: TQuarter}}, "v"),
+	}
+	m, err := Compile("Y := ln(X)", ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schemas["Y"].Dims[0].Name != "q" {
+		t.Errorf("schema propagation: %v", m.Schemas["Y"])
+	}
+}

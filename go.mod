@@ -1,0 +1,3 @@
+module exlengine
+
+go 1.22

@@ -1,0 +1,302 @@
+// Package chase implements the data-exchange side of the paper (Section
+// 4.2): given the schema mapping generated from an EXL program and a source
+// instance, it computes the solution of the data exchange problem with a
+// stratified variation of the chase.
+//
+// The tgds are full (no existential variables) and are applied in statement
+// order, completely applying each one before the next, so aggregation and
+// black-box dependencies always see fully computed operands. Termination
+// follows from the finiteness of the source instance and the acyclicity of
+// the program; the functionality egds are enforced during tuple insertion,
+// and their violation (impossible for mappings generated from well-formed
+// programs, but possible for hand-built ones) fails the chase as in the
+// classical setting.
+//
+// The chase result is the reference against which every other target
+// engine (SQL, ETL, frame) is validated.
+package chase
+
+import (
+	"errors"
+	"fmt"
+
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+)
+
+// Instance maps relation names to cube instances. It plays the role of
+// both the source instance I and the target instance J.
+type Instance map[string]*model.Cube
+
+// Clone deep-copies the instance.
+func (in Instance) Clone() Instance {
+	out := make(Instance, len(in))
+	for k, c := range in {
+		out[k] = c.Clone()
+	}
+	return out
+}
+
+// Stats reports what a chase run did.
+type Stats struct {
+	Strata          int // tgds applied (one stratum each)
+	TuplesGenerated int // tuples inserted into the target instance
+	Bindings        int // lhs bindings enumerated across all tgds
+}
+
+// Solver chases a fixed mapping over varying source instances.
+type Solver struct {
+	m *mapping.Mapping
+}
+
+// New returns a Solver for the mapping.
+func New(m *mapping.Mapping) *Solver { return &Solver{m: m} }
+
+// Solve computes the solution J of the data exchange problem for source
+// instance I. Relations missing from the source are treated as empty. The
+// returned instance contains the copied elementary relations, every derived
+// relation and any auxiliary relations of a normalized (unfused) mapping.
+func (s *Solver) Solve(source Instance) (Instance, error) {
+	target, _, err := s.solve(source)
+	return target, err
+}
+
+// SolveWithStats is Solve, additionally reporting chase statistics.
+func (s *Solver) SolveWithStats(source Instance) (Instance, *Stats, error) {
+	return s.solve(source)
+}
+
+func (s *Solver) solve(source Instance) (Instance, *Stats, error) {
+	stats := &Stats{}
+	target := make(Instance, len(s.m.Schemas))
+
+	// Σst: copy each elementary relation into its target twin. The copy
+	// would fail only if the source violates an egd, which Cube.Put makes
+	// impossible by construction.
+	for _, name := range s.m.Elementary {
+		if c, ok := source[name]; ok {
+			target[name] = c.Clone()
+		} else {
+			target[name] = model.NewCube(s.m.Schemas[name])
+		}
+		stats.TuplesGenerated += target[name].Len()
+	}
+
+	// Σt: apply the program tgds in stratification order.
+	for _, t := range s.m.Tgds {
+		if err := s.applyTgd(t, target, stats); err != nil {
+			return nil, nil, fmt.Errorf("chase: applying %s (%s): %w", t.ID, t.Target(), err)
+		}
+		stats.Strata++
+	}
+	return target, stats, nil
+}
+
+func (s *Solver) applyTgd(t *mapping.Tgd, target Instance, stats *Stats) error {
+	out := model.NewCube(s.m.Schemas[t.Target()])
+	target[t.Target()] = out
+
+	switch t.Kind {
+	case mapping.BlackBox:
+		return s.applyBlackBox(t, target, out, stats)
+	case mapping.TupleLevel:
+		return s.applyTupleLevel(t, target, out, stats)
+	case mapping.Aggregation:
+		return s.applyAggregation(t, target, out, stats)
+	case mapping.PadVector:
+		return s.applyPadVector(t, target, out, stats)
+	default:
+		return fmt.Errorf("unsupported tgd kind %s", t.Kind)
+	}
+}
+
+func (s *Solver) applyBlackBox(t *mapping.Tgd, target Instance, out *model.Cube, stats *Stats) error {
+	in, ok := target[t.Lhs[0].Rel]
+	if !ok {
+		return fmt.Errorf("operand %s not computed before black box", t.Lhs[0].Rel)
+	}
+	periods, vals, err := in.SortedSeries()
+	if err != nil {
+		return err
+	}
+	f, err := ops.Series(t.BB)
+	if err != nil {
+		return err
+	}
+	seasonLen := ops.SeasonLength(in.Schema().Dims[0].Type.Freq)
+	res, err := f(vals, seasonLen, t.BBParams)
+	if err != nil {
+		return err
+	}
+	if len(res) != len(vals) {
+		return fmt.Errorf("black box %s returned %d values for %d inputs", t.BB, len(res), len(vals))
+	}
+	stats.Bindings += len(vals)
+	for i, p := range periods {
+		if err := out.Put([]model.Value{model.Per(p)}, res[i]); err != nil {
+			return err
+		}
+		stats.TuplesGenerated++
+	}
+	return nil
+}
+
+func (s *Solver) applyTupleLevel(t *mapping.Tgd, target Instance, out *model.Cube, stats *Stats) error {
+	bindings, vars, err := evalLhs(t, target)
+	if err != nil {
+		return err
+	}
+	stats.Bindings += len(bindings)
+	dims := make([]model.Value, len(t.Rhs.Dims))
+	for _, b := range bindings {
+		if err := evalRhsDims(t.Rhs.Dims, vars, b, dims); err != nil {
+			return err
+		}
+		mv, defined, err := evalMeasure(t.Measure, vars, b)
+		if err != nil {
+			return err
+		}
+		if !defined {
+			continue
+		}
+		if err := out.Put(dims, mv); err != nil {
+			return err
+		}
+		stats.TuplesGenerated++
+	}
+	return nil
+}
+
+func (s *Solver) applyAggregation(t *mapping.Tgd, target Instance, out *model.Cube, stats *Stats) error {
+	bindings, vars, err := evalLhs(t, target)
+	if err != nil {
+		return err
+	}
+	stats.Bindings += len(bindings)
+	type group struct {
+		dims []model.Value
+		agg  ops.Aggregator
+	}
+	groups := make(map[string]*group)
+	dims := make([]model.Value, len(t.Rhs.Dims))
+	for _, b := range bindings {
+		if err := evalRhsDims(t.Rhs.Dims, vars, b, dims); err != nil {
+			return err
+		}
+		mv, defined, err := evalMeasure(t.Measure, vars, b)
+		if err != nil {
+			return err
+		}
+		if !defined {
+			// Undefined points simply contribute nothing to the bag.
+			continue
+		}
+		key := model.EncodeKey(dims)
+		g, ok := groups[key]
+		if !ok {
+			agg, err := ops.NewAggregator(t.Agg)
+			if err != nil {
+				return err
+			}
+			g = &group{dims: append([]model.Value(nil), dims...), agg: agg}
+			groups[key] = g
+		}
+		g.agg.Add(mv)
+	}
+	for _, g := range groups {
+		if err := out.Put(g.dims, g.agg.Result()); err != nil {
+			return err
+		}
+		stats.TuplesGenerated++
+	}
+	return nil
+}
+
+// applyPadVector applies a padded vectorial tgd: the result is defined on
+// the union of the operands' dimension tuples, with the default value
+// standing in for a missing operand measure.
+func (s *Solver) applyPadVector(t *mapping.Tgd, target Instance, out *model.Cube, stats *Stats) error {
+	type entry struct {
+		dims    []model.Value
+		measure float64
+	}
+	collect := func(atom mapping.Atom) (map[string]entry, error) {
+		rel, ok := target[atom.Rel]
+		if !ok {
+			return nil, fmt.Errorf("relation %s not available", atom.Rel)
+		}
+		pos := make(map[string]int, len(atom.Dims))
+		for j, d := range atom.Dims {
+			if d.Var == "" || d.Shift != 0 || d.Func != "" || d.Const != nil {
+				return nil, fmt.Errorf("padded tgds require plain variable atoms")
+			}
+			pos[d.Var] = j
+		}
+		entries := make(map[string]entry, rel.Len())
+		dims := make([]model.Value, len(t.Rhs.Dims))
+		var err error
+		_ = rel.ForEach(func(tu model.Tuple) error {
+			for i, d := range t.Rhs.Dims {
+				j, ok := pos[d.Var]
+				if !ok {
+					err = fmt.Errorf("rhs variable %s not bound by atom %s", d.Var, atom.Rel)
+					return err
+				}
+				dims[i] = tu.Dims[j]
+			}
+			entries[model.EncodeKey(dims)] = entry{dims: append([]model.Value(nil), dims...), measure: tu.Measure}
+			return nil
+		})
+		return entries, err
+	}
+	ex, err := collect(t.Lhs[0])
+	if err != nil {
+		return err
+	}
+	ey, err := collect(t.Lhs[1])
+	if err != nil {
+		return err
+	}
+	f, err := ops.Scalar(t.PadOp)
+	if err != nil {
+		return err
+	}
+	emit := func(dims []model.Value, x, y float64) error {
+		v, err := f(x, y)
+		if err != nil {
+			if ops.ErrUndefined(err) {
+				return nil
+			}
+			return err
+		}
+		stats.TuplesGenerated++
+		return out.Put(dims, v)
+	}
+	for key, e := range ex {
+		stats.Bindings++
+		y := t.PadDefault
+		if o, ok := ey[key]; ok {
+			y = o.measure
+		}
+		if err := emit(e.dims, e.measure, y); err != nil {
+			return err
+		}
+	}
+	for key, e := range ey {
+		if _, ok := ex[key]; ok {
+			continue
+		}
+		stats.Bindings++
+		if err := emit(e.dims, t.PadDefault, e.measure); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrChaseFailure wraps egd violations surfaced during a chase run.
+var ErrChaseFailure = model.ErrFunctional
+
+// IsFailure reports whether the error is a chase failure (egd violation).
+func IsFailure(err error) bool { return errors.Is(err, model.ErrFunctional) }

@@ -1,0 +1,283 @@
+// Package dispatch implements EXLEngine's dispatcher (Section 6): it
+// assigns every determination subgraph to its target engine, runs the
+// generated executables there — "each target engine then only executes its
+// native code" — and moves cube data between engines through a shared
+// snapshot, applying parallelization where the dependency DAG allows
+// (independent subgraphs run concurrently, in waves).
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+
+	"exlengine/internal/chase"
+	"exlengine/internal/determine"
+	"exlengine/internal/etl"
+	"exlengine/internal/frame"
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+	"exlengine/internal/sqlengine"
+	"exlengine/internal/sqlgen"
+)
+
+// Dispatcher executes determination plans against the target engines.
+type Dispatcher struct {
+	// Parallel enables wave-based concurrent execution of independent
+	// subgraphs. Sequential execution gives the same results.
+	Parallel bool
+}
+
+// TgdSource resolves the tgds generated for one derived cube (its
+// statement's tgds, auxiliaries included, in stratification order).
+type TgdSource func(cube string) []*mapping.Tgd
+
+// Run executes the subgraphs over the snapshot (cube name -> instance),
+// returning every derived cube computed. The snapshot must contain all
+// elementary cubes the plan needs; derived cubes produced by one subgraph
+// become inputs of later ones.
+func (d *Dispatcher) Run(subs []determine.Subgraph, tgds TgdSource,
+	schemas map[string]model.Schema, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+
+	// Working snapshot shared across subgraphs.
+	work := make(map[string]*model.Cube, len(snap))
+	for k, v := range snap {
+		work[k] = v
+	}
+	results := make(map[string]*model.Cube)
+
+	frags := make([]*fragment, len(subs))
+	for i, sub := range subs {
+		f, err := buildFragment(sub, tgds, schemas)
+		if err != nil {
+			return nil, err
+		}
+		frags[i] = f
+	}
+
+	if !d.Parallel {
+		for _, f := range frags {
+			out, err := f.run(work)
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range out {
+				work[k] = v
+				results[k] = v
+			}
+		}
+		return results, nil
+	}
+
+	// Wave-based parallel execution: a fragment is ready when every input
+	// produced by the plan is already available.
+	produced := make(map[string]int) // cube -> fragment index
+	for i, f := range frags {
+		for _, c := range f.produces {
+			produced[c] = i
+		}
+	}
+	done := make([]bool, len(frags))
+	for {
+		var wave []int
+		for i, f := range frags {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, in := range f.inputs {
+				if j, ok := produced[in]; ok && !done[j] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			break
+		}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var firstErr error
+		for _, i := range wave {
+			f := frags[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := f.run(work)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				for k, v := range out {
+					results[k] = v
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		// Publish the wave's outputs to the shared snapshot.
+		for _, i := range wave {
+			for _, c := range frags[i].produces {
+				if v, ok := results[c]; ok {
+					work[c] = v
+				}
+			}
+			done[i] = true
+		}
+	}
+	for i := range frags {
+		if !done[i] {
+			return nil, fmt.Errorf("dispatch: unresolvable fragment dependencies")
+		}
+	}
+	return results, nil
+}
+
+// fragment is one subgraph compiled into a self-contained mapping.
+type fragment struct {
+	target   ops.Target
+	m        *mapping.Mapping
+	produces []string // the subgraph's visible derived cubes
+	inputs   []string // relations read from the shared snapshot
+}
+
+// buildFragment assembles the sub-mapping for a subgraph: the tgds of its
+// statements in order, with the relations they read (and do not produce)
+// acting as the fragment's elementary relations.
+func buildFragment(sub determine.Subgraph, tgds TgdSource, schemas map[string]model.Schema) (*fragment, error) {
+	f := &fragment{target: sub.Target}
+	m := &mapping.Mapping{Schemas: make(map[string]model.Schema)}
+
+	producedHere := make(map[string]bool)
+	for _, ref := range sub.Stmts {
+		ts := tgds(ref.Cube())
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("dispatch: no tgds for cube %s", ref.Cube())
+		}
+		for _, t := range ts {
+			m.Tgds = append(m.Tgds, t)
+			producedHere[t.Target()] = true
+			if sch, ok := schemas[t.Target()]; ok {
+				m.Schemas[t.Target()] = sch
+			} else {
+				return nil, fmt.Errorf("dispatch: no schema for %s", t.Target())
+			}
+		}
+		f.produces = append(f.produces, ref.Cube())
+		m.Derived = append(m.Derived, ref.Cube())
+	}
+	seen := make(map[string]bool)
+	for _, t := range m.Tgds {
+		for _, a := range t.Lhs {
+			if producedHere[a.Rel] || seen[a.Rel] {
+				continue
+			}
+			seen[a.Rel] = true
+			f.inputs = append(f.inputs, a.Rel)
+			sch, ok := schemas[a.Rel]
+			if !ok {
+				return nil, fmt.Errorf("dispatch: no schema for input %s", a.Rel)
+			}
+			m.Schemas[a.Rel] = sch
+			m.Elementary = append(m.Elementary, a.Rel)
+		}
+	}
+	for i, t := range m.Tgds {
+		t.Stratum = i
+	}
+	f.m = m
+	return f, nil
+}
+
+// run executes the fragment on its target engine over the snapshot.
+func (f *fragment) run(snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+	input := make(map[string]*model.Cube, len(f.inputs))
+	for _, in := range f.inputs {
+		c, ok := snap[in]
+		if !ok {
+			return nil, fmt.Errorf("dispatch: input cube %s not available for %s fragment", in, f.target)
+		}
+		input[in] = c
+	}
+
+	derived := make(map[string]bool, len(f.produces))
+	for _, c := range f.produces {
+		derived[c] = true
+	}
+	keep := func(all map[string]*model.Cube) map[string]*model.Cube {
+		out := make(map[string]*model.Cube, len(f.produces))
+		for name, c := range all {
+			if derived[name] {
+				out[name] = c
+			}
+		}
+		return out
+	}
+
+	switch f.target {
+	case ops.TargetChase:
+		sol, err := chase.New(f.m).Solve(chase.Instance(input))
+		if err != nil {
+			return nil, err
+		}
+		return keep(sol), nil
+
+	case ops.TargetSQL:
+		db := sqlengine.NewDB()
+		for _, in := range f.inputs {
+			if err := db.LoadCube(input[in]); err != nil {
+				return nil, err
+			}
+		}
+		script, err := sqlgen.Translate(f.m)
+		if err != nil {
+			return nil, err
+		}
+		if err := sqlgen.Execute(script, db); err != nil {
+			return nil, err
+		}
+		out := make(map[string]*model.Cube, len(f.produces))
+		for _, name := range f.produces {
+			c, err := db.ExtractCube(f.m.Schemas[name])
+			if err != nil {
+				return nil, err
+			}
+			out[name] = c
+		}
+		return out, nil
+
+	case ops.TargetETL:
+		job, err := etl.Translate(f.m, "dispatch")
+		if err != nil {
+			return nil, err
+		}
+		res, err := etl.Run(job, f.m, input)
+		if err != nil {
+			return nil, err
+		}
+		return keep(res), nil
+
+	case ops.TargetFrame:
+		script, err := frame.Translate(f.m)
+		if err != nil {
+			return nil, err
+		}
+		res, err := frame.Execute(script, f.m, input)
+		if err != nil {
+			return nil, err
+		}
+		return keep(res), nil
+
+	default:
+		return nil, fmt.Errorf("dispatch: unknown target %s", f.target)
+	}
+}

@@ -1,0 +1,387 @@
+// Package engine implements the EXLEngine orchestrator of Section 6: a
+// metadata-driven system in which cube definitions and EXL programs guide
+// the runtime behaviour. Statisticians' programs are registered and
+// validated; the determination engine decides what must be calculated when
+// elementary cubes change; the translation engine turns the affected
+// statements into schema mappings (offline, so metadata handling does not
+// affect calculation time); and the dispatcher executes each subgraph on
+// its target engine, with results flowing back into the versioned store.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"exlengine/internal/determine"
+	"exlengine/internal/dispatch"
+	"exlengine/internal/etl"
+	"exlengine/internal/exl"
+	"exlengine/internal/mapping"
+	"exlengine/internal/matlabgen"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+	"exlengine/internal/rgen"
+	"exlengine/internal/sqlgen"
+	"exlengine/internal/store"
+)
+
+// Engine is a complete EXLEngine instance.
+type Engine struct {
+	mu       sync.Mutex
+	store    *store.Store
+	programs map[string]*exl.Analyzed
+	mappings map[string]*mapping.Mapping
+	graph    *determine.Graph
+	disp     dispatch.Dispatcher
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelDispatch enables concurrent execution of independent
+// subgraphs.
+func WithParallelDispatch() Option {
+	return func(e *Engine) { e.disp.Parallel = true }
+}
+
+// New returns an empty engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		store:    store.New(),
+		programs: make(map[string]*exl.Analyzed),
+		mappings: make(map[string]*mapping.Mapping),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// DeclareCube registers an elementary cube schema in the metadata catalog.
+func (e *Engine) DeclareCube(sch model.Schema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Declare(sch)
+}
+
+// RegisterProgram parses, analyzes and translates an EXL program, adding
+// its cubes to the global dependency graph. A program may reference cubes
+// declared in the catalog or derived by previously registered programs.
+// Translation to schema mappings happens here, offline — "the system
+// decouples their computational time from the one of the actual
+// statistical calculation".
+func (e *Engine) RegisterProgram(name, src string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.programs[name]; dup {
+		return fmt.Errorf("engine: program %s already registered", name)
+	}
+	prog, err := exl.Parse(src)
+	if err != nil {
+		return err
+	}
+	external := make(map[string]model.Schema)
+	for _, n := range e.store.Names() {
+		sch, _ := e.store.Schema(n)
+		external[n] = sch
+	}
+	if e.graph != nil {
+		for n, sch := range e.graph.Schemas() {
+			external[n] = sch
+		}
+	}
+	// A program may not redeclare a cube that already exists in the
+	// catalog: elementary cubes are owned by the metadata catalog, derived
+	// ones by their defining program.
+	for _, d := range prog.Decls {
+		if _, exists := external[d.Name]; exists {
+			return fmt.Errorf("engine: program %s redeclares existing cube %s", name, d.Name)
+		}
+	}
+	a, err := exl.Analyze(prog, external)
+	if err != nil {
+		return err
+	}
+	m, err := mapping.Generate(a)
+	if err != nil {
+		return err
+	}
+
+	candidate := make(map[string]*exl.Analyzed, len(e.programs)+1)
+	for k, v := range e.programs {
+		candidate[k] = v
+	}
+	candidate[name] = a
+	graph, err := determine.Build(candidate)
+	if err != nil {
+		return err
+	}
+
+	// Commit: declare every cube schema in the store.
+	for cubeName, sch := range a.Schemas {
+		if err := e.store.Declare(sch.Rename(cubeName)); err != nil {
+			return err
+		}
+	}
+	e.programs[name] = a
+	e.mappings[name] = m
+	e.graph = graph
+	return nil
+}
+
+// Programs returns the registered program names, sorted.
+func (e *Engine) Programs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.programs))
+	for n := range e.programs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mapping returns the schema mapping generated for a program.
+func (e *Engine) Mapping(program string) (*mapping.Mapping, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.mappings[program]
+	return m, ok
+}
+
+// PutCube stores a new version of a cube, valid from asOf.
+func (e *Engine) PutCube(c *model.Cube, asOf time.Time) error {
+	return e.store.Put(c, asOf)
+}
+
+// LoadCSV reads a cube from CSV under its declared schema and stores it as
+// a new version valid from asOf.
+func (e *Engine) LoadCSV(name string, r io.Reader, asOf time.Time) error {
+	sch, ok := e.store.Schema(name)
+	if !ok {
+		return fmt.Errorf("engine: cube %s is not declared", name)
+	}
+	c, err := store.ReadCSV(r, sch)
+	if err != nil {
+		return err
+	}
+	return e.store.Put(c, asOf)
+}
+
+// Cube returns the current version of a cube.
+func (e *Engine) Cube(name string) (*model.Cube, bool) { return e.store.Get(name) }
+
+// CubeNames returns every declared cube name (elementary and derived),
+// sorted.
+func (e *Engine) CubeNames() []string { return e.store.Names() }
+
+// Schema returns the declared schema of a cube.
+func (e *Engine) Schema(name string) (model.Schema, bool) { return e.store.Schema(name) }
+
+// CubeAsOf returns the cube version valid at instant t.
+func (e *Engine) CubeAsOf(name string, t time.Time) (*model.Cube, bool) {
+	return e.store.GetAsOf(name, t)
+}
+
+// SubgraphInfo describes one dispatched subgraph of a run.
+type SubgraphInfo struct {
+	Target ops.Target
+	Cubes  []string
+}
+
+// Report describes what a run did.
+type Report struct {
+	Plan      []string // recalculated cubes, in execution order
+	Subgraphs []SubgraphInfo
+	Elapsed   time.Duration
+}
+
+// RunAll recalculates every derived cube of every program, assigning each
+// statement to its preferred target.
+func (e *Engine) RunAll() (*Report, error) {
+	return e.run(nil, determine.AssignByPreference, time.Now())
+}
+
+// RunAllAt is RunAll with an explicit version timestamp for the results.
+func (e *Engine) RunAllAt(asOf time.Time) (*Report, error) {
+	return e.run(nil, determine.AssignByPreference, asOf)
+}
+
+// RunAllOn recalculates everything on a single fixed target system.
+func (e *Engine) RunAllOn(t ops.Target) (*Report, error) {
+	return e.run(nil, determine.FixedAssigner(t), time.Now())
+}
+
+// Recalculate runs the determination step for the changed cubes and
+// recomputes exactly the affected derived cubes.
+func (e *Engine) Recalculate(changed ...string) (*Report, error) {
+	return e.run(changed, determine.AssignByPreference, time.Now())
+}
+
+// RecalculateAt is Recalculate with an explicit version timestamp for the
+// results (historicity control).
+func (e *Engine) RecalculateAt(asOf time.Time, changed ...string) (*Report, error) {
+	return e.run(changed, determine.AssignByPreference, asOf)
+}
+
+func (e *Engine) run(changed []string, assign determine.Assigner, asOf time.Time) (*Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.graph == nil {
+		return nil, fmt.Errorf("engine: no programs registered")
+	}
+	start := time.Now()
+
+	var plan []determine.StmtRef
+	var err error
+	if changed == nil {
+		plan = e.graph.FullPlan()
+	} else {
+		plan, err = e.graph.Affected(changed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var subs []determine.Subgraph
+	if e.disp.Parallel {
+		// Component-aware partitioning keeps independent programs in
+		// separate subgraphs so the wave scheduler can overlap them.
+		subs = determine.PartitionByComponent(plan, assign, e.graph)
+	} else {
+		subs = determine.Partition(plan, assign)
+	}
+
+	schemas := e.allSchemas()
+	snap := e.store.Snapshot()
+	// Declared cubes without data yet behave as empty relations, so a
+	// program can be validated and run before all inputs have arrived.
+	for name, sch := range schemas {
+		if _, ok := snap[name]; !ok {
+			snap[name] = model.NewCube(sch)
+		}
+	}
+	results, err := e.disp.Run(subs, e.tgdsFor, schemas, snap)
+	if err != nil {
+		return nil, err
+	}
+
+	// Persist results as new versions.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := e.store.Put(results[n], asOf); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{Elapsed: time.Since(start)}
+	for _, ref := range plan {
+		rep.Plan = append(rep.Plan, ref.Cube())
+	}
+	for _, s := range subs {
+		info := SubgraphInfo{Target: s.Target}
+		for _, ref := range s.Stmts {
+			info.Cubes = append(info.Cubes, ref.Cube())
+		}
+		rep.Subgraphs = append(rep.Subgraphs, info)
+	}
+	return rep, nil
+}
+
+// allSchemas merges the graph's cube schemas with the auxiliary relation
+// schemas of every program mapping.
+func (e *Engine) allSchemas() map[string]model.Schema {
+	out := make(map[string]model.Schema)
+	if e.graph != nil {
+		for n, sch := range e.graph.Schemas() {
+			out[n] = sch
+		}
+	}
+	for _, m := range e.mappings {
+		for n, sch := range m.Schemas {
+			if _, ok := out[n]; !ok {
+				out[n] = sch
+			}
+		}
+	}
+	return out
+}
+
+// tgdsFor returns the tgds generated for a derived cube's statement,
+// auxiliaries included, in stratification order.
+func (e *Engine) tgdsFor(cube string) []*mapping.Tgd {
+	for _, m := range e.mappings {
+		var out []*mapping.Tgd
+		for _, t := range m.Tgds {
+			if t.Stmt == cube {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return nil
+}
+
+// Artifact kinds for Translate.
+const (
+	ArtifactTgds   = "tgds"
+	ArtifactSQL    = "sql"
+	ArtifactR      = "r"
+	ArtifactMatlab = "matlab"
+	ArtifactETL    = "etl"
+)
+
+// Translate renders a registered program's schema mapping as an executable
+// artifact for the given kind: the tgds in logic notation, a SQL script,
+// R or Matlab source, or the ETL job metadata (JSON).
+func (e *Engine) Translate(program, kind string) (string, error) {
+	e.mu.Lock()
+	m, ok := e.mappings[program]
+	e.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("engine: unknown program %s", program)
+	}
+	switch kind {
+	case ArtifactTgds:
+		return m.String(), nil
+	case ArtifactSQL:
+		script, err := sqlgen.Translate(m)
+		if err != nil {
+			return "", err
+		}
+		return script.String(), nil
+	case ArtifactR:
+		return rgen.Translate(m)
+	case ArtifactMatlab:
+		return matlabgen.Translate(m)
+	case ArtifactETL:
+		job, err := etl.Translate(m, program)
+		if err != nil {
+			return "", err
+		}
+		raw, err := job.MarshalMetadata()
+		if err != nil {
+			return "", err
+		}
+		return string(raw), nil
+	default:
+		return "", fmt.Errorf("engine: unknown artifact kind %q", kind)
+	}
+}
+
+// WriteCSV exports the current version of a cube as CSV.
+func (e *Engine) WriteCSV(name string, w io.Writer) error {
+	c, ok := e.store.Get(name)
+	if !ok {
+		return fmt.Errorf("engine: cube %s has no data", name)
+	}
+	return store.WriteCSV(w, c)
+}

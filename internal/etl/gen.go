@@ -1,0 +1,262 @@
+package etl
+
+import (
+	"fmt"
+
+	"exlengine/internal/frame"
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+)
+
+// Translate renders a whole mapping as an ETL job: one flow per tgd,
+// composed in the tgds' total order.
+func Translate(m *mapping.Mapping, name string) (*Job, error) {
+	job := &Job{Name: name}
+	for _, t := range m.Tgds {
+		f, err := TranslateTgd(t, m.Schemas)
+		if err != nil {
+			return nil, fmt.Errorf("etl: tgd %s: %w", t.ID, err)
+		}
+		job.Flows = append(job.Flows, f)
+	}
+	return job, nil
+}
+
+// TranslateTgd builds the flow for one tgd, with the Figure 1 shape: one
+// data source step per lhs atom, a cascade of merge steps on shared
+// variables, a calculation step for the rhs, an aggregation step when
+// grouping is needed, and an output step.
+func TranslateTgd(t *mapping.Tgd, schemas map[string]model.Schema) (*Flow, error) {
+	out, ok := schemas[t.Rhs.Rel]
+	if !ok {
+		return nil, fmt.Errorf("no schema for %s", t.Rhs.Rel)
+	}
+	f := &Flow{TgdID: t.ID, Target: t.Target()}
+
+	if t.Kind == mapping.BlackBox {
+		in, ok := schemas[t.Lhs[0].Rel]
+		if !ok {
+			return nil, fmt.Errorf("no schema for %s", t.Lhs[0].Rel)
+		}
+		f.Steps = append(f.Steps,
+			Step{Name: "in", Type: TableInput, Table: t.Lhs[0].Rel,
+				Fields: []string{in.Dims[0].Name, in.Measure},
+				As:     []string{in.Dims[0].Name, in.Measure}},
+			Step{Name: "series", Type: SeriesCalc, Op: t.BB, Params: t.BBParams,
+				TimeField: in.Dims[0].Name, ValueField: in.Measure},
+			Step{Name: "out", Type: TableOutput, Table: t.Rhs.Rel,
+				Fields: []string{in.Dims[0].Name, in.Measure},
+				As:     []string{out.Dims[0].Name, out.Measure}},
+		)
+		f.Hops = []Hop{{From: "in", To: "series"}, {From: "series", To: "out"}}
+		return f, nil
+	}
+
+	if t.Kind == mapping.PadVector {
+		return translatePadJoin(t, schemas, f, out)
+	}
+
+	// One data source step per lhs atom, with variable naming, key shifts
+	// and constant filters folded into the step metadata.
+	var atomSteps []string
+	atomCols := make([][]string, len(t.Lhs))
+	for i, atom := range t.Lhs {
+		sch, ok := schemas[atom.Rel]
+		if !ok {
+			return nil, fmt.Errorf("no schema for %s", atom.Rel)
+		}
+		st := Step{Name: fmt.Sprintf("in%d", i+1), Type: TableInput, Table: atom.Rel}
+		seen := make(map[string]bool)
+		for j, d := range atom.Dims {
+			switch {
+			case d.Const != nil:
+				if st.FilterField != "" {
+					return nil, fmt.Errorf("multiple constant dimensions in one atom are not supported")
+				}
+				st.FilterField = sch.Dims[j].Name
+				st.FilterValue = d.Const.String()
+				st.filterVal = *d.Const
+			case d.Func != "":
+				return nil, fmt.Errorf("dimension function %s in lhs is not translatable", d.Func)
+			default:
+				if seen[d.Var] {
+					return nil, fmt.Errorf("repeated variable %s within an atom is not supported", d.Var)
+				}
+				seen[d.Var] = true
+				st.Fields = append(st.Fields, sch.Dims[j].Name)
+				st.As = append(st.As, d.Var)
+				// Stored value is Var+Shift, so the key column Var is the
+				// stored value shifted by -Shift.
+				st.Shifts = append(st.Shifts, -d.Shift)
+				atomCols[i] = append(atomCols[i], d.Var)
+			}
+		}
+		if atom.MVar != "" {
+			st.Fields = append(st.Fields, sch.Measure)
+			st.As = append(st.As, atom.MVar)
+			st.Shifts = append(st.Shifts, 0)
+			atomCols[i] = append(atomCols[i], atom.MVar)
+		}
+		f.Steps = append(f.Steps, st)
+		atomSteps = append(atomSteps, st.Name)
+	}
+
+	// Merge cascade on shared variables.
+	cur := atomSteps[0]
+	curCols := atomCols[0]
+	for i := 1; i < len(atomSteps); i++ {
+		var keys []string
+		for _, c := range atomCols[i] {
+			if containsStr(curCols, c) {
+				keys = append(keys, c)
+			}
+		}
+		mj := Step{Name: fmt.Sprintf("merge%d", i), Type: MergeJoin,
+			Left: cur, Right: atomSteps[i], Keys: keys}
+		f.Steps = append(f.Steps, mj)
+		f.Hops = append(f.Hops, Hop{From: cur, To: mj.Name}, Hop{From: atomSteps[i], To: mj.Name})
+		cur = mj.Name
+		curCols = unionStr(curCols, atomCols[i])
+	}
+
+	// Calculation step: rhs dimension terms and the measure expression.
+	// Calculated field names must not collide with the stream's variable
+	// columns (e.g. a dimension variable literally named "m").
+	taken := make(map[string]bool)
+	for _, c := range curCols {
+		taken[c] = true
+	}
+	fresh := func(base string) string {
+		name := base
+		for n := 2; taken[name]; n++ {
+			name = fmt.Sprintf("%s%d", base, n)
+		}
+		taken[name] = true
+		return name
+	}
+	calc := Step{Name: "calc", Type: Calculator}
+	var dimFields []string
+	for k, d := range t.Rhs.Dims {
+		field := fresh(fmt.Sprintf("d%d", k+1))
+		var e frame.Expr
+		switch {
+		case d.Const != nil:
+			return nil, fmt.Errorf("constant rhs dimensions are not supported")
+		case d.Func != "":
+			e = frame.DimApply{Fn: d.Func, X: frame.Col{Name: d.Var}}
+		case d.Shift != 0:
+			e = frame.PShift{X: frame.Col{Name: d.Var}, N: d.Shift}
+		default:
+			e = frame.Col{Name: d.Var}
+		}
+		calc.Calcs = append(calc.Calcs, Calc{Field: field, Display: d.String(), expr: e})
+		dimFields = append(dimFields, field)
+	}
+	me, err := measureExpr(t.Measure)
+	if err != nil {
+		return nil, err
+	}
+	mField := fresh("m")
+	calc.Calcs = append(calc.Calcs, Calc{Field: mField, Display: t.Measure.String(), expr: me})
+	f.Steps = append(f.Steps, calc)
+	f.Hops = append(f.Hops, Hop{From: cur, To: "calc"})
+	cur = "calc"
+
+	if t.Kind == mapping.Aggregation {
+		agg := Step{Name: "agg", Type: Aggregator, Keys: dimFields,
+			Agg: t.Agg, ValueField: mField, OutField: mField}
+		f.Steps = append(f.Steps, agg)
+		f.Hops = append(f.Hops, Hop{From: cur, To: "agg"})
+		cur = "agg"
+	}
+
+	outStep := Step{Name: "out", Type: TableOutput, Table: t.Rhs.Rel,
+		Fields: append(append([]string(nil), dimFields...), mField),
+		As:     append(append([]string(nil), out.DimNames()...), out.Measure)}
+	f.Steps = append(f.Steps, outStep)
+	f.Hops = append(f.Hops, Hop{From: cur, To: "out"})
+	return f, nil
+}
+
+// translatePadJoin builds the flow for a padded vectorial tgd: two data
+// source steps feed a pad_join step that ranges over the union of their
+// dimension tuples.
+func translatePadJoin(t *mapping.Tgd, schemas map[string]model.Schema, f *Flow, out model.Schema) (*Flow, error) {
+	var atomSteps []string
+	for i, atom := range t.Lhs {
+		sch, ok := schemas[atom.Rel]
+		if !ok {
+			return nil, fmt.Errorf("no schema for %s", atom.Rel)
+		}
+		st := Step{Name: fmt.Sprintf("in%d", i+1), Type: TableInput, Table: atom.Rel}
+		for j, d := range atom.Dims {
+			if d.Const != nil || d.Func != "" || d.Shift != 0 {
+				return nil, fmt.Errorf("padded tgds require plain variable atoms")
+			}
+			st.Fields = append(st.Fields, sch.Dims[j].Name)
+			st.As = append(st.As, d.Var)
+			st.Shifts = append(st.Shifts, 0)
+		}
+		st.Fields = append(st.Fields, sch.Measure)
+		st.As = append(st.As, atom.MVar)
+		st.Shifts = append(st.Shifts, 0)
+		f.Steps = append(f.Steps, st)
+		atomSteps = append(atomSteps, st.Name)
+	}
+	keys := make([]string, len(t.Rhs.Dims))
+	for i, d := range t.Rhs.Dims {
+		keys[i] = d.Var
+	}
+	pj := Step{Name: "pad", Type: PadJoin, Left: atomSteps[0], Right: atomSteps[1],
+		Keys: keys, Op: t.PadOp, Default: t.PadDefault,
+		ValueField: t.Lhs[0].MVar, RightField: t.Lhs[1].MVar, OutField: "m"}
+	f.Steps = append(f.Steps, pj)
+	f.Hops = append(f.Hops,
+		Hop{From: atomSteps[0], To: "pad"}, Hop{From: atomSteps[1], To: "pad"})
+	outStep := Step{Name: "out", Type: TableOutput, Table: t.Rhs.Rel,
+		Fields: append(append([]string(nil), keys...), "m"),
+		As:     append(append([]string(nil), out.DimNames()...), out.Measure)}
+	f.Steps = append(f.Steps, outStep)
+	f.Hops = append(f.Hops, Hop{From: "pad", To: "out"})
+	return f, nil
+}
+
+func measureExpr(m *mapping.MTerm) (frame.Expr, error) {
+	switch m.Kind {
+	case mapping.MVar:
+		return frame.Col{Name: m.Var}, nil
+	case mapping.MConst:
+		return frame.Const{V: m.Val}, nil
+	case mapping.MApply:
+		args := make([]frame.Expr, 0, len(m.Args))
+		for _, a := range m.Args {
+			e, err := measureExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		}
+		return frame.Apply{Op: m.Op, Args: args, Params: append([]float64(nil), m.Params...)}, nil
+	default:
+		return nil, fmt.Errorf("unknown measure term kind %d", m.Kind)
+	}
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func unionStr(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, s := range b {
+		if !containsStr(out, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,565 @@
+package etl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"exlengine/internal/frame"
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+)
+
+// Row is one record flowing through an ETL stream.
+type Row []model.Value
+
+const chanCap = 128
+
+// Run executes a job over the source cubes: flows run in tgd total order;
+// within a flow every step is a goroutine and rows flow through channels,
+// so "every tuple in the sources is fed into the stream and treated exactly
+// once" (Section 5.3). It returns every relation computed by the job.
+func Run(job *Job, m *mapping.Mapping, source map[string]*model.Cube) (map[string]*model.Cube, error) {
+	store := make(map[string]*model.Cube, len(source))
+	for _, name := range m.Elementary {
+		if c, ok := source[name]; ok {
+			store[name] = c
+		} else {
+			store[name] = model.NewCube(m.Schemas[name])
+		}
+	}
+	out := make(map[string]*model.Cube)
+	for _, f := range job.Flows {
+		c, err := runFlow(f, store, m.Schemas)
+		if err != nil {
+			return nil, fmt.Errorf("etl: flow %s: %w", f.TgdID, err)
+		}
+		store[f.Target] = c
+		out[f.Target] = c
+	}
+	return out, nil
+}
+
+// flowErr records the first error of a flow run.
+type flowErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (fe *flowErr) set(err error) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.err == nil && err != nil {
+		fe.err = err
+	}
+}
+
+func (fe *flowErr) get() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.err
+}
+
+func runFlow(f *Flow, store map[string]*model.Cube, schemas map[string]model.Schema) (*model.Cube, error) {
+	// Column schema per step, derived statically.
+	cols := make(map[string][]string)
+	for i := range f.Steps {
+		st := &f.Steps[i]
+		switch st.Type {
+		case TableInput:
+			cols[st.Name] = st.As
+		case MergeJoin:
+			left, right := cols[st.Left], cols[st.Right]
+			merged := append([]string(nil), left...)
+			for _, c := range right {
+				if !containsStr(st.Keys, c) {
+					merged = append(merged, c)
+				}
+			}
+			cols[st.Name] = merged
+		case Calculator:
+			in := f.Inputs(st.Name)
+			base := append([]string(nil), cols[in[0]]...)
+			for _, c := range st.Calcs {
+				base = append(base, c.Field)
+			}
+			cols[st.Name] = base
+		case Aggregator:
+			cols[st.Name] = append(append([]string(nil), st.Keys...), st.OutField)
+		case SeriesCalc:
+			cols[st.Name] = []string{st.TimeField, st.ValueField}
+		case PadJoin:
+			cols[st.Name] = append(append([]string(nil), st.Keys...), st.OutField)
+		case TableOutput:
+			in := f.Inputs(st.Name)
+			cols[st.Name] = cols[in[0]]
+		}
+	}
+
+	// One channel per hop; generated flows are trees, so each step has one
+	// consumer.
+	chans := make(map[string]chan Row)
+	for _, h := range f.Hops {
+		if _, dup := chans[h.From]; dup {
+			return nil, fmt.Errorf("step %s has more than one consumer", h.From)
+		}
+		chans[h.From] = make(chan Row, chanCap)
+	}
+	// Structural validation up front: a malformed flow must fail cleanly
+	// instead of deadlocking goroutines on missing channels.
+	outputs := 0
+	for i := range f.Steps {
+		st := &f.Steps[i]
+		if st.Type == TableOutput {
+			outputs++
+			continue
+		}
+		if _, ok := chans[st.Name]; !ok {
+			return nil, fmt.Errorf("step %s has no consumer", st.Name)
+		}
+	}
+	if outputs != 1 {
+		return nil, fmt.Errorf("flow must have exactly one output step, found %d", outputs)
+	}
+
+	fe := &flowErr{}
+	var wg sync.WaitGroup
+	var result *model.Cube
+
+	for i := range f.Steps {
+		st := &f.Steps[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := runStep(f, st, cols, chans, store, schemas, &result); err != nil {
+				fe.set(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		return nil, err
+	}
+	if result == nil {
+		return nil, fmt.Errorf("flow has no output step")
+	}
+	return result, nil
+}
+
+// drain empties a channel (used on early exit so upstream steps never
+// block forever).
+func drain(ch <-chan Row) {
+	for range ch {
+	}
+}
+
+func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan Row,
+	store map[string]*model.Cube, schemas map[string]model.Schema, result **model.Cube) error {
+
+	out := chans[st.Name] // nil for the output step
+	closeOut := func() {
+		if out != nil {
+			close(out)
+		}
+	}
+
+	switch st.Type {
+	case TableInput:
+		defer closeOut()
+		cube, ok := store[st.Table]
+		if !ok {
+			return fmt.Errorf("table %s not available", st.Table)
+		}
+		sch := cube.Schema()
+		idx := make([]int, len(st.Fields))
+		for i, fld := range st.Fields {
+			if j := sch.DimIndex(fld); j >= 0 {
+				idx[i] = j
+			} else if fld == sch.Measure {
+				idx[i] = -1
+			} else {
+				return fmt.Errorf("table %s has no column %s", st.Table, fld)
+			}
+		}
+		filterIdx := -2
+		if st.FilterField != "" {
+			filterIdx = sch.DimIndex(st.FilterField)
+			if filterIdx < 0 {
+				return fmt.Errorf("filter column %s not in %s", st.FilterField, st.Table)
+			}
+		}
+		for _, tu := range cube.Tuples() {
+			if filterIdx >= 0 && !tu.Dims[filterIdx].Equal(st.filterVal) {
+				continue
+			}
+			row := make(Row, len(idx))
+			bad := false
+			for i, j := range idx {
+				var v model.Value
+				if j < 0 {
+					v = model.Num(tu.Measure)
+				} else {
+					v = tu.Dims[j]
+				}
+				if st.Shifts != nil && st.Shifts[i] != 0 {
+					sv, err := ops.ShiftValue(v, st.Shifts[i])
+					if err != nil {
+						return err
+					}
+					v = sv
+				}
+				if !v.IsValid() {
+					bad = true
+					break
+				}
+				row[i] = v
+			}
+			if !bad {
+				out <- row
+			}
+		}
+		return nil
+
+	case MergeJoin:
+		defer closeOut()
+		leftCh, rightCh := chans[st.Left], chans[st.Right]
+		leftCols, rightCols := cols[st.Left], cols[st.Right]
+		lk := make([]int, len(st.Keys))
+		rk := make([]int, len(st.Keys))
+		for i, k := range st.Keys {
+			lk[i] = indexOf(leftCols, k)
+			rk[i] = indexOf(rightCols, k)
+			if lk[i] < 0 || rk[i] < 0 {
+				drain(leftCh)
+				drain(rightCh)
+				return fmt.Errorf("join key %s missing", k)
+			}
+		}
+		var keep []int
+		for j, c := range rightCols {
+			if !containsStr(st.Keys, c) {
+				keep = append(keep, j)
+			}
+		}
+		// Build side: the right stream is buffered into a hash index.
+		index := make(map[string][]Row)
+		keyBuf := make([]model.Value, len(rk))
+		for r := range rightCh {
+			ok := true
+			for i, j := range rk {
+				if !r[j].IsValid() {
+					ok = false
+					break
+				}
+				keyBuf[i] = r[j]
+			}
+			if !ok {
+				continue
+			}
+			k := model.EncodeKey(keyBuf)
+			index[k] = append(index[k], r)
+		}
+		// Probe side: the left stream flows through.
+		for l := range leftCh {
+			ok := true
+			for i, j := range lk {
+				if !l[j].IsValid() {
+					ok = false
+					break
+				}
+				keyBuf[i] = l[j]
+			}
+			if !ok {
+				continue
+			}
+			for _, r := range index[model.EncodeKey(keyBuf)] {
+				nr := make(Row, 0, len(l)+len(keep))
+				nr = append(nr, l...)
+				for _, j := range keep {
+					nr = append(nr, r[j])
+				}
+				out <- nr
+			}
+		}
+		return nil
+
+	case Calculator:
+		defer closeOut()
+		in := chans[f.Inputs(st.Name)[0]]
+		myCols := cols[st.Name]
+		for row := range in {
+			nr := make(Row, 0, len(myCols))
+			nr = append(nr, row...)
+			failed := false
+			for _, c := range st.Calcs {
+				v, err := frame.Eval(c.Expr(), myCols[:len(nr)], nr)
+				if err != nil {
+					drain(in)
+					return err
+				}
+				if !v.IsValid() {
+					// Undefined point: the row contributes nothing.
+					failed = true
+					break
+				}
+				nr = append(nr, v)
+			}
+			if !failed {
+				out <- nr
+			}
+		}
+		return nil
+
+	case Aggregator:
+		defer closeOut()
+		in := chans[f.Inputs(st.Name)[0]]
+		inCols := cols[f.Inputs(st.Name)[0]]
+		ki := make([]int, len(st.Keys))
+		for i, k := range st.Keys {
+			ki[i] = indexOf(inCols, k)
+			if ki[i] < 0 {
+				drain(in)
+				return fmt.Errorf("group key %s missing", k)
+			}
+		}
+		vi := indexOf(inCols, st.ValueField)
+		if vi < 0 {
+			drain(in)
+			return fmt.Errorf("value field %s missing", st.ValueField)
+		}
+		type group struct {
+			key []model.Value
+			agg ops.Aggregator
+		}
+		groups := make(map[string]*group)
+		keyBuf := make([]model.Value, len(ki))
+		for row := range in {
+			for i, j := range ki {
+				keyBuf[i] = row[j]
+			}
+			v, ok := row[vi].AsNumber()
+			if !ok {
+				drain(in)
+				return fmt.Errorf("non-numeric aggregation input %v", row[vi])
+			}
+			k := model.EncodeKey(keyBuf)
+			g, okG := groups[k]
+			if !okG {
+				agg, err := ops.NewAggregator(st.Agg)
+				if err != nil {
+					drain(in)
+					return err
+				}
+				g = &group{key: append([]model.Value(nil), keyBuf...), agg: agg}
+				groups[k] = g
+			}
+			g.agg.Add(v)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := groups[k]
+			out <- append(append(Row(nil), g.key...), model.Num(g.agg.Result()))
+		}
+		return nil
+
+	case SeriesCalc:
+		defer closeOut()
+		in := chans[f.Inputs(st.Name)[0]]
+		inCols := cols[f.Inputs(st.Name)[0]]
+		ti := indexOf(inCols, st.TimeField)
+		vi := indexOf(inCols, st.ValueField)
+		if ti < 0 || vi < 0 {
+			drain(in)
+			return fmt.Errorf("series fields %s, %s missing", st.TimeField, st.ValueField)
+		}
+		type point struct {
+			p model.Period
+			v float64
+		}
+		var pts []point
+		for row := range in {
+			p, ok := row[ti].AsPeriod()
+			if !ok {
+				drain(in)
+				return fmt.Errorf("non-period time value %v", row[ti])
+			}
+			v, ok := row[vi].AsNumber()
+			if !ok {
+				drain(in)
+				return fmt.Errorf("non-numeric series value %v", row[vi])
+			}
+			pts = append(pts, point{p, v})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].p.Compare(pts[j].p) < 0 })
+		vals := make([]float64, len(pts))
+		for i, pt := range pts {
+			vals[i] = pt.v
+		}
+		fn, err := ops.Series(st.Op)
+		if err != nil {
+			return err
+		}
+		seasonLen := 1
+		if len(pts) > 0 {
+			seasonLen = ops.SeasonLength(pts[0].p.Freq)
+		}
+		res, err := fn(vals, seasonLen, st.Params)
+		if err != nil {
+			return err
+		}
+		for i, pt := range pts {
+			out <- Row{model.Per(pt.p), model.Num(res[i])}
+		}
+		return nil
+
+	case PadJoin:
+		defer closeOut()
+		leftCh, rightCh := chans[st.Left], chans[st.Right]
+		leftCols, rightCols := cols[st.Left], cols[st.Right]
+		type entry struct {
+			key []model.Value
+			v   float64
+		}
+		collect := func(ch <-chan Row, colNames []string, valField string) (map[string]entry, error) {
+			ki := make([]int, len(st.Keys))
+			for i, k := range st.Keys {
+				ki[i] = indexOf(colNames, k)
+				if ki[i] < 0 {
+					drain(ch)
+					return nil, fmt.Errorf("pad join key %s missing", k)
+				}
+			}
+			vi := indexOf(colNames, valField)
+			if vi < 0 {
+				drain(ch)
+				return nil, fmt.Errorf("pad join value field %s missing", valField)
+			}
+			out := make(map[string]entry)
+			keyBuf := make([]model.Value, len(ki))
+			for row := range ch {
+				ok := true
+				for i, j := range ki {
+					if !row[j].IsValid() {
+						ok = false
+						break
+					}
+					keyBuf[i] = row[j]
+				}
+				if !ok || !row[vi].IsValid() {
+					continue
+				}
+				v, isNum := row[vi].AsNumber()
+				if !isNum {
+					return nil, fmt.Errorf("pad join: non-numeric value %v", row[vi])
+				}
+				out[model.EncodeKey(keyBuf)] = entry{key: append([]model.Value(nil), keyBuf...), v: v}
+			}
+			return out, nil
+		}
+		mr, err := collect(rightCh, rightCols, st.RightField)
+		if err != nil {
+			drain(leftCh)
+			return err
+		}
+		ml, err := collect(leftCh, leftCols, st.ValueField)
+		if err != nil {
+			return err
+		}
+		fn, err := ops.Scalar(st.Op)
+		if err != nil {
+			return err
+		}
+		emit := func(key []model.Value, l, r float64) error {
+			v, err := fn(l, r)
+			if err != nil {
+				if ops.ErrUndefined(err) {
+					return nil
+				}
+				return err
+			}
+			out <- append(append(Row(nil), key...), model.Num(v))
+			return nil
+		}
+		for k, e := range ml {
+			r := st.Default
+			if o, ok := mr[k]; ok {
+				r = o.v
+			}
+			if err := emit(e.key, e.v, r); err != nil {
+				return err
+			}
+		}
+		for k, e := range mr {
+			if _, ok := ml[k]; ok {
+				continue
+			}
+			if err := emit(e.key, st.Default, e.v); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case TableOutput:
+		in := chans[f.Inputs(st.Name)[0]]
+		inCols := cols[f.Inputs(st.Name)[0]]
+		sch, ok := schemas[st.Table]
+		if !ok {
+			drain(in)
+			return fmt.Errorf("no schema for output %s", st.Table)
+		}
+		idx := make([]int, len(st.Fields))
+		for i, fld := range st.Fields {
+			idx[i] = indexOf(inCols, fld)
+			if idx[i] < 0 {
+				drain(in)
+				return fmt.Errorf("output field %s missing from stream", fld)
+			}
+		}
+		cube := model.NewCube(sch)
+		dims := make([]model.Value, len(sch.Dims))
+		for row := range in {
+			bad := false
+			for i := 0; i < len(sch.Dims); i++ {
+				v := row[idx[i]]
+				if !v.IsValid() {
+					bad = true
+					break
+				}
+				dims[i] = v
+			}
+			mv := row[idx[len(idx)-1]]
+			if bad || !mv.IsValid() {
+				continue
+			}
+			m, ok := mv.AsNumber()
+			if !ok {
+				drain(in)
+				return fmt.Errorf("non-numeric measure %v", mv)
+			}
+			if err := cube.Put(dims, m); err != nil {
+				drain(in)
+				return err
+			}
+		}
+		*result = cube
+		return nil
+
+	default:
+		closeOut()
+		return fmt.Errorf("unknown step type %s", st.Type)
+	}
+}
+
+func indexOf(xs []string, s string) int {
+	for i, x := range xs {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,171 @@
+package exl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is a parsed EXL source file: elementary cube declarations plus
+// assignment statements, in source order.
+type Program struct {
+	Decls []*CubeDecl
+	Stmts []*Statement
+}
+
+// CubeDecl declares an elementary cube: `cube PDR(d: day, r: string)
+// measure p`.
+type CubeDecl struct {
+	Pos     Position
+	Name    string
+	Dims    []DimDecl
+	Measure string // optional; empty means "value"
+}
+
+// DimDecl is one `name: type` dimension declaration.
+type DimDecl struct {
+	Pos  Position
+	Name string
+	Type string
+}
+
+// Statement is one assignment `LHS := expr`.
+type Statement struct {
+	Pos Position
+	Lhs string
+	Rhs Expr
+}
+
+// Expr is an EXL expression node.
+type Expr interface {
+	// Pos returns the source position of the expression.
+	Pos() Position
+	// String renders the expression in EXL concrete syntax.
+	String() string
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	At    Position
+	Value float64
+}
+
+// Ident is an identifier in expression position: a cube literal, or inside
+// a group-by list, a dimension reference.
+type Ident struct {
+	At   Position
+	Name string
+}
+
+// BinaryExpr is an application of the algebraic operators + - * /.
+type BinaryExpr struct {
+	At   Position
+	Op   string // "+", "-", "*", "/"
+	X, Y Expr
+}
+
+// UnaryExpr is unary minus.
+type UnaryExpr struct {
+	At Position
+	X  Expr
+}
+
+// Call is function-notation operator application, possibly with a group-by
+// clause: `avg(PDR, group by quarter(d) as q, r)`.
+type Call struct {
+	At      Position
+	Name    string
+	Args    []Expr
+	GroupBy []GroupItem
+}
+
+// GroupItem is one entry of a group-by list: a dimension or a scalar
+// function of a dimension, with an optional alias.
+type GroupItem struct {
+	At    Position
+	Expr  Expr   // Ident or Call of a dimension function
+	Alias string // optional result dimension name
+}
+
+// Pos implements Expr.
+func (e *NumberLit) Pos() Position { return e.At }
+
+// Pos implements Expr.
+func (e *Ident) Pos() Position { return e.At }
+
+// Pos implements Expr.
+func (e *BinaryExpr) Pos() Position { return e.At }
+
+// Pos implements Expr.
+func (e *UnaryExpr) Pos() Position { return e.At }
+
+// Pos implements Expr.
+func (e *Call) Pos() Position { return e.At }
+
+// String implements Expr.
+func (e *NumberLit) String() string { return strconv.FormatFloat(e.Value, 'g', -1, 64) }
+
+// String implements Expr.
+func (e *Ident) String() string { return e.Name }
+
+// String implements Expr.
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y)
+}
+
+// String implements Expr.
+func (e *UnaryExpr) String() string { return fmt.Sprintf("(-%s)", e.X) }
+
+// String implements Expr.
+func (e *Call) String() string {
+	var b strings.Builder
+	b.WriteString(e.Name)
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	if len(e.GroupBy) > 0 {
+		b.WriteString(", group by ")
+		for i, g := range e.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.Expr.String())
+			if g.Alias != "" {
+				b.WriteString(" as ")
+				b.WriteString(g.Alias)
+			}
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the whole program in EXL concrete syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		b.WriteString("cube ")
+		b.WriteString(d.Name)
+		b.WriteByte('(')
+		for i, dim := range d.Dims {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s: %s", dim.Name, dim.Type)
+		}
+		b.WriteByte(')')
+		if d.Measure != "" {
+			b.WriteString(" measure ")
+			b.WriteString(d.Measure)
+		}
+		b.WriteByte('\n')
+	}
+	for _, s := range p.Stmts {
+		fmt.Fprintf(&b, "%s := %s\n", s.Lhs, s.Rhs)
+	}
+	return b.String()
+}

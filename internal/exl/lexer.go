@@ -1,0 +1,169 @@
+package exl
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns EXL source text into tokens. Line comments start with "//"
+// or "#" and run to end of line; whitespace (including newlines) only
+// separates tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the source text.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input, returning the token stream terminated by
+// a TokEOF token, or the first lexical error.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#' || (c == '/' && l.peek2() == '/'):
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := Position{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Lexeme: l.src[start:l.pos], Pos: pos}, nil
+	case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peek2()))):
+		start := l.pos
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			switch {
+			case unicode.IsDigit(rune(c)):
+				l.advance()
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.advance()
+			case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+				seenExp = true
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+			default:
+				goto done
+			}
+		}
+	done:
+		lit := l.src[start:l.pos]
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return Token{}, errorf(pos, "invalid number literal %q", lit)
+		}
+		return Token{Kind: TokNumber, Lexeme: lit, Num: f, Pos: pos}, nil
+	}
+	l.advance()
+	switch c {
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokAssign, Lexeme: ":=", Pos: pos}, nil
+		}
+		return Token{Kind: TokColon, Lexeme: ":", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Lexeme: ",", Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Lexeme: ";", Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Lexeme: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Lexeme: ")", Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Lexeme: "+", Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Lexeme: "-", Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Lexeme: "*", Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Lexeme: "/", Pos: pos}, nil
+	}
+	return Token{}, errorf(pos, "unexpected character %q", string(c))
+}
+
+// isKeyword reports whether the identifier token matches the contextual
+// keyword kw (case-insensitive). EXL keywords are contextual: "cube",
+// "measure", "group", "by", "as" are only special where the grammar expects
+// them.
+func isKeyword(t Token, kw string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Lexeme, kw)
+}

@@ -1,0 +1,121 @@
+package exl
+
+import "testing"
+
+func kinds(ts []Token) []TokenKind {
+	out := make([]TokenKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	ts, err := Tokenize("PQR := avg(PDR, group by quarter(d) as q, r)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokIdent, TokAssign, TokIdent, TokLParen, TokIdent, TokComma,
+		TokIdent, TokIdent, TokIdent, TokLParen, TokIdent, TokRParen,
+		TokIdent, TokIdent, TokComma, TokIdent, TokRParen, TokEOF,
+	}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), ts)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	tests := map[string]float64{
+		"0":      0,
+		"42":     42,
+		"3.5":    3.5,
+		".5":     0.5,
+		"1e3":    1000,
+		"2.5e-1": 0.25,
+		"1E+2":   100,
+	}
+	for src, want := range tests {
+		ts, err := Tokenize(src)
+		if err != nil {
+			t.Errorf("Tokenize(%q): %v", src, err)
+			continue
+		}
+		if ts[0].Kind != TokNumber || ts[0].Num != want {
+			t.Errorf("Tokenize(%q) = %+v, want %v", src, ts[0], want)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := "A := B // trailing comment\n# full line\nC := D"
+	ts, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 7 { // A := B C := D EOF
+		t.Fatalf("got %d tokens: %v", len(ts), ts)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	ts, err := Tokenize("A :=\n  B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Pos != (Position{Line: 1, Col: 1}) {
+		t.Errorf("A at %v", ts[0].Pos)
+	}
+	if ts[2].Pos != (Position{Line: 2, Col: 3}) {
+		t.Errorf("B at %v", ts[2].Pos)
+	}
+	if ts[2].Pos.String() != "2:3" {
+		t.Errorf("Position.String = %q", ts[2].Pos.String())
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	ts, err := Tokenize("a + b - c * d / e ; f : g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokIdent, TokPlus, TokIdent, TokMinus, TokIdent, TokStar,
+		TokIdent, TokSlash, TokIdent, TokSemi, TokIdent, TokColon, TokIdent, TokEOF}
+	for i, k := range want {
+		if ts[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, ts[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{"a @ b", "x & y", "?"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): want error", src)
+		}
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	for k := TokEOF; k <= TokSlash; k++ {
+		if k.String() == "unknown token" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	tok := Token{Kind: TokIdent, Lexeme: "GROUP"}
+	if !isKeyword(tok, "group") {
+		t.Error("keyword match must be case-insensitive")
+	}
+	if isKeyword(Token{Kind: TokNumber, Lexeme: "group"}, "group") {
+		t.Error("non-ident cannot be a keyword")
+	}
+}

@@ -1,0 +1,287 @@
+package exl
+
+// Parser is a recursive-descent parser for EXL programs.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete EXL source text.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+// ParseExpr parses a single EXL expression (used by tests and tools).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, errorf(p.cur().Pos, "unexpected %s after expression", p.cur().Kind)
+	}
+	return e, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekKind(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errorf(p.cur().Pos, "expected %s, found %s %q", k, p.cur().Kind, p.cur().Lexeme)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.peekKind(TokEOF) {
+		if p.peekKind(TokSemi) {
+			p.next()
+			continue
+		}
+		if isKeyword(p.cur(), "cube") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokIdent {
+			d, err := p.parseCubeDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Decls = append(prog.Decls, d)
+			continue
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseCubeDecl() (*CubeDecl, error) {
+	kw := p.next() // "cube"
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	d := &CubeDecl{Pos: kw.Pos, Name: name.Lexeme}
+	for {
+		dn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		dt, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.Dims = append(d.Dims, DimDecl{Pos: dn.Pos, Name: dn.Lexeme, Type: dt.Lexeme})
+		if p.peekKind(TokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if isKeyword(p.cur(), "measure") {
+		p.next()
+		m, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.Measure = m.Lexeme
+	}
+	return d, nil
+}
+
+func (p *Parser) parseStatement() (*Statement, error) {
+	lhs, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKind(TokSemi) {
+		p.next()
+	}
+	return &Statement{Pos: lhs.Pos, Lhs: lhs.Lexeme, Rhs: rhs}, nil
+}
+
+// parseExpr parses addition-level expressions.
+func (p *Parser) parseExpr() (Expr, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKind(TokPlus) || p.peekKind(TokMinus) {
+		op := p.next()
+		y, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{At: op.Pos, Op: op.Lexeme, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseTerm() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKind(TokStar) || p.peekKind(TokSlash) {
+		op := p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{At: op.Pos, Op: op.Lexeme, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{At: t.Pos, X: x}, nil
+	case TokPlus:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokNumber:
+		t := p.next()
+		return &NumberLit{At: t.Pos, Value: t.Num}, nil
+	case TokIdent:
+		t := p.next()
+		if p.peekKind(TokLParen) {
+			return p.parseCallArgs(t)
+		}
+		return &Ident{At: t.Pos, Name: t.Lexeme}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errorf(p.cur().Pos, "expected expression, found %s %q", p.cur().Kind, p.cur().Lexeme)
+	}
+}
+
+func (p *Parser) parseCallArgs(name Token) (Expr, error) {
+	p.next() // '('
+	call := &Call{At: name.Pos, Name: name.Lexeme}
+	if p.peekKind(TokRParen) {
+		p.next()
+		return call, nil
+	}
+	for {
+		if isKeyword(p.cur(), "group") && p.pos+1 < len(p.toks) && isKeyword(p.toks[p.pos+1], "by") {
+			p.next() // group
+			p.next() // by
+			items, err := p.parseGroupList()
+			if err != nil {
+				return nil, err
+			}
+			call.GroupBy = items
+			break
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.peekKind(TokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *Parser) parseGroupList() ([]GroupItem, error) {
+	var items []GroupItem
+	for {
+		e, err := p.parseGroupItemExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := GroupItem{At: e.Pos(), Expr: e}
+		if isKeyword(p.cur(), "as") {
+			p.next()
+			alias, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias.Lexeme
+		}
+		items = append(items, item)
+		if p.peekKind(TokComma) {
+			p.next()
+			continue
+		}
+		return items, nil
+	}
+}
+
+// parseGroupItemExpr parses a group-by item: a dimension identifier or a
+// one-argument dimension function applied to an identifier.
+func (p *Parser) parseGroupItemExpr() (Expr, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekKind(TokLParen) {
+		return &Ident{At: t.Pos, Name: t.Lexeme}, nil
+	}
+	p.next() // '('
+	arg, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return &Call{At: t.Pos, Name: t.Lexeme, Args: []Expr{&Ident{At: arg.Pos, Name: arg.Lexeme}}}, nil
+}

@@ -1,0 +1,217 @@
+package exl
+
+import (
+	"strings"
+	"testing"
+)
+
+// gdpSource is the paper's running example (Section 2), in our concrete
+// syntax with cube declarations for the elementary cubes.
+const gdpSource = `
+cube PDR(d: day, r: string) measure p
+cube RGDPPC(q: quarter, r: string) measure g
+
+PQR    := avg(PDR, group by quarter(d) as q, r)
+RGDP   := RGDPPC * PQR
+GDP    := sum(RGDP, group by q)
+GDPT   := stl_t(GDP)
+PCHNG  := (GDPT - shift(GDPT, 1)) * 100 / GDPT
+`
+
+func TestParseGDPProgram(t *testing.T) {
+	prog, err := Parse(gdpSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Decls) != 2 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	if prog.Decls[0].Name != "PDR" || prog.Decls[0].Measure != "p" {
+		t.Errorf("decl 0 = %+v", prog.Decls[0])
+	}
+	if prog.Decls[0].Dims[0].Name != "d" || prog.Decls[0].Dims[0].Type != "day" {
+		t.Errorf("decl 0 dims = %+v", prog.Decls[0].Dims)
+	}
+	if len(prog.Stmts) != 5 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	wantLhs := []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"}
+	for i, s := range prog.Stmts {
+		if s.Lhs != wantLhs[i] {
+			t.Errorf("stmt %d lhs = %s, want %s", i, s.Lhs, wantLhs[i])
+		}
+	}
+	// Round-trip: the printed program re-parses to the same shape.
+	again, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, prog.String())
+	}
+	if again.String() != prog.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", prog.String(), again.String())
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("A + B * C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "(A + (B * C))" {
+		t.Errorf("precedence: %s", e)
+	}
+	e, err = ParseExpr("(A + B) * C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "((A + B) * C)" {
+		t.Errorf("parens: %s", e)
+	}
+	e, err = ParseExpr("A - B - C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "((A - B) - C)" {
+		t.Errorf("left assoc: %s", e)
+	}
+	e, err = ParseExpr("-A * B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "((-A) * B)" {
+		t.Errorf("unary binds tighter: %s", e)
+	}
+	e, err = ParseExpr("+A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "A" {
+		t.Errorf("unary plus is identity: %s", e)
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	e, err := ParseExpr("log(2, EL * 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*Call)
+	if !ok || c.Name != "log" || len(c.Args) != 2 {
+		t.Fatalf("call = %#v", e)
+	}
+	if c.Args[0].String() != "2" || c.Args[1].String() != "(EL * 3)" {
+		t.Errorf("args = %v", c.Args)
+	}
+	e, err = ParseExpr("shift(GDPT, 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "shift(GDPT, 1)" {
+		t.Errorf("shift = %s", e)
+	}
+	// Empty call.
+	e, err = ParseExpr("f()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.(*Call).Args) != 0 {
+		t.Error("empty call")
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	e, err := ParseExpr("avg(PDR, group by quarter(d) as q, r)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*Call)
+	if len(c.Args) != 1 || len(c.GroupBy) != 2 {
+		t.Fatalf("call = %s", c)
+	}
+	if c.GroupBy[0].Alias != "q" {
+		t.Errorf("alias = %q", c.GroupBy[0].Alias)
+	}
+	g0, ok := c.GroupBy[0].Expr.(*Call)
+	if !ok || g0.Name != "quarter" {
+		t.Errorf("group item 0 = %#v", c.GroupBy[0].Expr)
+	}
+	if id, ok := c.GroupBy[1].Expr.(*Ident); !ok || id.Name != "r" {
+		t.Errorf("group item 1 = %#v", c.GroupBy[1].Expr)
+	}
+	// Group-by without alias and case-insensitive keywords.
+	e, err = ParseExpr("SUM(X, GROUP BY a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.(*Call).GroupBy) != 2 {
+		t.Error("uppercase GROUP BY")
+	}
+}
+
+func TestParseStatementSeparators(t *testing.T) {
+	prog, err := Parse("A := B; C := D\nE := F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"A :=",                       // missing rhs
+		"A = B",                      // wrong assignment token
+		"A := (B",                    // unclosed paren
+		"A := B +",                   // dangling operator
+		"cube X",                     // missing dim list
+		"cube X(a b)",                // missing colon
+		"cube X(a: )",                // missing type name
+		"A := f(x, group by g(a,b))", // group fn with two args
+		"A := f(x, group by 3)",      // group item must be ident
+		"A := f(x, group by a as )",  // missing alias
+		":= B",                       // missing lhs
+		"A := B) ",                   // trailing garbage becomes bad stmt
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+	if _, err := ParseExpr("A B"); err == nil {
+		t.Error("ParseExpr with trailing token must fail")
+	}
+	if _, err := ParseExpr("@"); err == nil {
+		t.Error("ParseExpr lexical error must propagate")
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("A := B\nC :=")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should carry line 2 position: %v", err)
+	}
+}
+
+func TestParseCubeDeclNoMeasure(t *testing.T) {
+	prog, err := Parse("cube X(a: string)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Decls[0].Measure != "" {
+		t.Error("measure should be empty")
+	}
+}
+
+func TestCubeAsIdentifier(t *testing.T) {
+	// "cube" not followed by a declaration shape is a plain identifier.
+	prog, err := Parse("cube := A + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 1 || prog.Stmts[0].Lhs != "cube" {
+		t.Errorf("stmts = %+v", prog.Stmts)
+	}
+}

@@ -1,0 +1,100 @@
+// Package exl implements the EXL (EXpression Language) front end: lexer,
+// parser, abstract syntax tree and semantic analysis.
+//
+// EXL, defined by the Bank of Italy, specifies statistical programs over
+// cubes: a program is a sequence of assignment statements whose right-hand
+// sides are expressions over cube identifiers, built from algebraic
+// operators, scalar functions, aggregations with group-by lists, and
+// multi-tuple black-box operators such as seasonal decomposition.
+//
+// The paper shows programs but no declaration grammar; this implementation
+// adds `cube NAME(dim: type, …) [measure NAME]` declarations as the
+// concrete syntax for the Matrix metadata of elementary cubes, plus
+// optional `as` aliases in group-by lists.
+package exl
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokAssign // :=
+	TokColon
+	TokComma
+	TokSemi
+	TokLParen
+	TokRParen
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+)
+
+// String returns a display name for the token kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokAssign:
+		return "':='"
+	case TokColon:
+		return "':'"
+	case TokComma:
+		return "','"
+	case TokSemi:
+		return "';'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	default:
+		return "unknown token"
+	}
+}
+
+// Position is a line/column location in an EXL source text (1-based).
+type Position struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind   TokenKind
+	Lexeme string
+	Num    float64 // valid when Kind == TokNumber
+	Pos    Position
+}
+
+// Error is a syntax or semantic error with a source position.
+type Error struct {
+	Pos Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("exl: %s: %s", e.Pos, e.Msg) }
+
+func errorf(pos Position, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,225 @@
+// Package frame implements the matrix-oriented execution target standing
+// in for R and Matlab (Section 5.2). Schema mappings are translated into a
+// small data-frame program IR — merges on dimension columns, element-wise
+// column arithmetic, group aggregation and whole-series statistical calls —
+// which this package executes directly and which internal/rgen and
+// internal/matlabgen print as R and Matlab source text.
+//
+// Executing the IR (rather than only printing foreign code) is what makes
+// the R/Matlab translation testable: the same program that is rendered as
+// `merge(PQR, RGDPPC, by=c("q","r"))` runs here and is compared against the
+// chase solution.
+package frame
+
+import (
+	"fmt"
+	"sort"
+
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+)
+
+// Frame is a data frame: named columns over rows of dynamically typed
+// values (R's data.frame, Matlab's matrix with column metadata).
+type Frame struct {
+	Cols []string
+	Rows [][]model.Value
+}
+
+// NewFrame returns an empty frame with the given columns.
+func NewFrame(cols ...string) *Frame {
+	return &Frame{Cols: append([]string(nil), cols...)}
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (f *Frame) ColIndex(name string) int {
+	for i, c := range f.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone deep-copies the frame.
+func (f *Frame) Clone() *Frame {
+	out := &Frame{Cols: append([]string(nil), f.Cols...)}
+	out.Rows = make([][]model.Value, len(f.Rows))
+	for i, r := range f.Rows {
+		out.Rows[i] = append([]model.Value(nil), r...)
+	}
+	return out
+}
+
+// FromCube converts a cube into a frame whose columns are the dimension
+// names followed by the measure name.
+func FromCube(c *model.Cube) *Frame {
+	sch := c.Schema()
+	cols := append([]string(nil), sch.DimNames()...)
+	cols = append(cols, sch.Measure)
+	f := &Frame{Cols: cols}
+	for _, tu := range c.Tuples() {
+		row := make([]model.Value, 0, len(cols))
+		row = append(row, tu.Dims...)
+		row = append(row, model.Num(tu.Measure))
+		f.Rows = append(f.Rows, row)
+	}
+	return f
+}
+
+// ToCube converts a frame back into a cube under the given schema. The
+// frame's columns must be the schema's dimensions followed by the measure
+// (by name). Rows with invalid (NA) values are dropped, matching the
+// partial-function semantics of cubes.
+func (f *Frame) ToCube(sch model.Schema) (*model.Cube, error) {
+	idx := make([]int, 0, len(sch.Dims)+1)
+	for _, d := range sch.Dims {
+		j := f.ColIndex(d.Name)
+		if j < 0 {
+			return nil, fmt.Errorf("frame: missing dimension column %s", d.Name)
+		}
+		idx = append(idx, j)
+	}
+	mj := f.ColIndex(sch.Measure)
+	if mj < 0 {
+		return nil, fmt.Errorf("frame: missing measure column %s", sch.Measure)
+	}
+	c := model.NewCube(sch)
+	dims := make([]model.Value, len(sch.Dims))
+	for _, row := range f.Rows {
+		na := false
+		for i, j := range idx {
+			if !row[j].IsValid() {
+				na = true
+				break
+			}
+			dims[i] = row[j]
+		}
+		if na || !row[mj].IsValid() {
+			continue
+		}
+		mv, ok := row[mj].AsNumber()
+		if !ok {
+			return nil, fmt.Errorf("frame: non-numeric measure %v", row[mj])
+		}
+		if err := c.Put(dims, mv); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Sort orders the rows by all columns left to right (deterministic output
+// for tests and printing).
+func (f *Frame) Sort() {
+	sort.Slice(f.Rows, func(i, j int) bool {
+		for k := range f.Cols {
+			if c := f.Rows[i][k].Compare(f.Rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// Expr is a row-wise column expression (the element-wise arithmetic of
+// Section 5.2: tmp$i <- tmp$p * tmp$g).
+type Expr interface{ exprNode() }
+
+// Col references a column of the current frame.
+type Col struct{ Name string }
+
+// Const is a numeric constant.
+type Const struct{ V float64 }
+
+// Apply applies a scalar operator from the ops registry to argument
+// expressions, with trailing scalar parameters.
+type Apply struct {
+	Op     string
+	Args   []Expr
+	Params []float64
+}
+
+// PShift shifts a period (or integer) value by N steps.
+type PShift struct {
+	X Expr
+	N int64
+}
+
+// DimApply applies a dimension function (quarter, month, year).
+type DimApply struct {
+	Fn string
+	X  Expr
+}
+
+func (Col) exprNode()      {}
+func (Const) exprNode()    {}
+func (Apply) exprNode()    {}
+func (PShift) exprNode()   {}
+func (DimApply) exprNode() {}
+
+// evalExpr evaluates a column expression on one row. An invalid Value with
+// nil error is NA (an undefined operator point) and propagates.
+func evalExpr(e Expr, f *Frame, row []model.Value) (model.Value, error) {
+	switch e := e.(type) {
+	case Col:
+		j := f.ColIndex(e.Name)
+		if j < 0 {
+			return model.Value{}, fmt.Errorf("frame: unknown column %s", e.Name)
+		}
+		return row[j], nil
+	case Const:
+		return model.Num(e.V), nil
+	case PShift:
+		x, err := evalExpr(e.X, f, row)
+		if err != nil || !x.IsValid() {
+			return x, err
+		}
+		return ops.ShiftValue(x, e.N)
+	case DimApply:
+		x, err := evalExpr(e.X, f, row)
+		if err != nil || !x.IsValid() {
+			return x, err
+		}
+		fn, err := ops.Dimension(e.Fn)
+		if err != nil {
+			return model.Value{}, err
+		}
+		return fn.Apply(x)
+	case Apply:
+		args := make([]float64, 0, len(e.Args)+len(e.Params))
+		for _, a := range e.Args {
+			v, err := evalExpr(a, f, row)
+			if err != nil || !v.IsValid() {
+				return v, err
+			}
+			x, ok := v.AsNumber()
+			if !ok {
+				return model.Value{}, fmt.Errorf("frame: %s over non-numeric %v", e.Op, v)
+			}
+			args = append(args, x)
+		}
+		args = append(args, e.Params...)
+		fn, err := ops.Scalar(e.Op)
+		if err != nil {
+			return model.Value{}, err
+		}
+		out, err := fn(args...)
+		if err != nil {
+			if ops.ErrUndefined(err) {
+				return model.Value{}, nil // NA
+			}
+			return model.Value{}, err
+		}
+		return model.Num(out), nil
+	default:
+		return model.Value{}, fmt.Errorf("frame: unsupported expression %T", e)
+	}
+}
+
+// Eval evaluates a column expression against a bare column list and row,
+// for engines (such as the ETL runtime) that stream rows without
+// materializing frames.
+func Eval(e Expr, cols []string, row []model.Value) (model.Value, error) {
+	return evalExpr(e, &Frame{Cols: cols}, row)
+}

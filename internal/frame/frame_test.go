@@ -1,0 +1,310 @@
+package frame
+
+import (
+	"strings"
+	"testing"
+
+	"exlengine/internal/chase"
+	"exlengine/internal/exl"
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+	"exlengine/internal/workload"
+)
+
+func compile(t *testing.T, src string) *mapping.Mapping {
+	t.Helper()
+	prog, err := exl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := exl.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func yearCube(t *testing.T, name string, vals map[int]float64) *model.Cube {
+	t.Helper()
+	c := model.NewCube(model.NewSchema(name, []model.Dim{{Name: "t", Type: model.TYear}}, "v"))
+	for y, v := range vals {
+		if err := c.Put([]model.Value{model.Per(model.NewAnnual(y))}, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestFrameCubeRoundTrip(t *testing.T) {
+	c := yearCube(t, "A", map[int]float64{2000: 1, 2001: 2})
+	f := FromCube(c)
+	if len(f.Cols) != 2 || f.Cols[0] != "t" || f.Cols[1] != "v" {
+		t.Fatalf("cols = %v", f.Cols)
+	}
+	back, err := f.ToCube(c.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(c, model.Eps) {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestToCubeDropsNA(t *testing.T) {
+	f := NewFrame("t", "v")
+	f.Rows = [][]model.Value{
+		{model.Per(model.NewAnnual(2000)), model.Num(1)},
+		{model.Per(model.NewAnnual(2001)), model.Value{}}, // NA measure
+		{model.Value{}, model.Num(3)},                     // NA dim
+	}
+	c, err := f.ToCube(model.NewSchema("A", []model.Dim{{Name: "t", Type: model.TYear}}, "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestMergeStep(t *testing.T) {
+	env := Env{
+		"X": &Frame{Cols: []string{"q", "r", "p"}, Rows: [][]model.Value{
+			{model.Int(1), model.Str("n"), model.Num(10)},
+			{model.Int(1), model.Str("s"), model.Num(20)},
+			{model.Int(2), model.Str("n"), model.Num(30)},
+		}},
+		"Y": &Frame{Cols: []string{"q", "r", "g"}, Rows: [][]model.Value{
+			{model.Int(1), model.Str("n"), model.Num(2)},
+			{model.Int(2), model.Str("n"), model.Num(3)},
+			{model.Int(3), model.Str("n"), model.Num(4)},
+		}},
+	}
+	if err := runStep(Merge{Out: "Z", X: "X", Y: "Y", By: []string{"q", "r"}}, env); err != nil {
+		t.Fatal(err)
+	}
+	z := env["Z"]
+	if len(z.Rows) != 2 {
+		t.Fatalf("merge rows = %d", len(z.Rows))
+	}
+	if len(z.Cols) != 4 || z.Cols[3] != "g" {
+		t.Errorf("merge cols = %v", z.Cols)
+	}
+	// Cross join with empty By.
+	if err := runStep(Merge{Out: "W", X: "X", Y: "Y", By: nil}, env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env["W"].Rows) != 9 {
+		t.Errorf("cross join rows = %d", len(env["W"].Rows))
+	}
+}
+
+func TestMapColAndFilter(t *testing.T) {
+	env := Env{"F": &Frame{Cols: []string{"a", "b"}, Rows: [][]model.Value{
+		{model.Num(1), model.Num(2)},
+		{model.Num(3), model.Num(0)},
+	}}}
+	// c = a / b: NA where b = 0.
+	if err := runStep(MapCol{Var: "F", Col: "c", E: Apply{Op: "div", Args: []Expr{Col{Name: "a"}, Col{Name: "b"}}}}, env); err != nil {
+		t.Fatal(err)
+	}
+	f := env["F"]
+	if v, _ := f.Rows[0][2].AsNumber(); v != 0.5 {
+		t.Errorf("c[0] = %v", f.Rows[0][2])
+	}
+	if f.Rows[1][2].IsValid() {
+		t.Error("division by zero must be NA")
+	}
+	// Overwrite an existing column.
+	if err := runStep(MapCol{Var: "F", Col: "a", E: Const{V: 9}}, env); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Rows[0][0].AsNumber(); v != 9 {
+		t.Error("overwrite failed")
+	}
+	// Filter.
+	if err := runStep(Filter{Var: "F", Col: "b", V: model.Num(2)}, env); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 1 {
+		t.Errorf("filter rows = %d", len(f.Rows))
+	}
+}
+
+func TestGroupAggStep(t *testing.T) {
+	env := Env{"F": &Frame{Cols: []string{"k", "v"}, Rows: [][]model.Value{
+		{model.Str("a"), model.Num(1)},
+		{model.Str("a"), model.Num(3)},
+		{model.Str("b"), model.Num(5)},
+		{model.Str("b"), model.Value{}}, // NA excluded from bag
+	}}}
+	if err := runStep(GroupAgg{Out: "G", In: "F", By: []string{"k"}, Agg: "avg", ValCol: "v", OutCol: "m"}, env); err != nil {
+		t.Fatal(err)
+	}
+	g := env["G"]
+	if len(g.Rows) != 2 {
+		t.Fatalf("groups = %d", len(g.Rows))
+	}
+	g.Sort()
+	if v, _ := g.Rows[0][1].AsNumber(); v != 2 {
+		t.Errorf("avg a = %v", g.Rows[0][1])
+	}
+	if v, _ := g.Rows[1][1].AsNumber(); v != 5 {
+		t.Errorf("avg b = %v", g.Rows[1][1])
+	}
+}
+
+func TestSeriesOpStep(t *testing.T) {
+	env := Env{"S": &Frame{Cols: []string{"t", "v"}, Rows: [][]model.Value{
+		{model.Per(model.NewAnnual(2002)), model.Num(3)},
+		{model.Per(model.NewAnnual(2000)), model.Num(1)},
+		{model.Per(model.NewAnnual(2001)), model.Num(2)},
+	}}}
+	if err := runStep(SeriesOp{Out: "C", In: "S", Op: "cumsum", TimeCol: "t", ValCol: "v"}, env); err != nil {
+		t.Fatal(err)
+	}
+	c := env["C"]
+	if len(c.Rows) != 3 {
+		t.Fatal("rows")
+	}
+	// Sorted chronologically before the cumulative sum.
+	if v, _ := c.Rows[2][1].AsNumber(); v != 6 {
+		t.Errorf("cumsum = %v", c.Rows)
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	env := Env{"F": NewFrame("a")}
+	bad := []Step{
+		Copy{Out: "X", In: "NOPE"},
+		Rename{Out: "X", In: "F", From: []string{"zz"}, To: []string{"y"}},
+		Filter{Var: "F", Col: "zz"},
+		SelectCols{Out: "X", In: "F", Cols: []string{"zz"}},
+		Merge{Out: "X", X: "F", Y: "F", By: []string{"zz"}},
+		GroupAgg{Out: "X", In: "F", By: []string{"zz"}, Agg: "sum", ValCol: "a"},
+		GroupAgg{Out: "X", In: "F", By: nil, Agg: "nosuch", ValCol: "a"},
+		SeriesOp{Out: "X", In: "F", Op: "cumsum", TimeCol: "zz", ValCol: "a"},
+		MapCol{Var: "F", Col: "x", E: Col{Name: "zz"}},
+	}
+	for i, s := range bad {
+		// Row-wise failures (unknown agg, unknown expr column) only
+		// surface when a row feeds them.
+		env["F"].Rows = [][]model.Value{make([]model.Value, len(env["F"].Cols))}
+		env["F"].Rows[0][0] = model.Num(1)
+		if err := runStep(s, env); err == nil {
+			t.Errorf("step %d: want error", i)
+		}
+		env["F"].Rows = nil
+	}
+}
+
+// TestFrameMatchesChase validates the frame target against the chase on
+// all three example programs.
+func TestFrameMatchesChase(t *testing.T) {
+	cases := []struct {
+		name string
+		prog string
+		data workload.Data
+	}{
+		{"gdp", workload.GDPProgram, workload.GDPSource(workload.GDPConfig{Days: 400, Regions: 4})},
+		{"inflation", workload.InflationProgram, workload.InflationSource(6, 30, 2)},
+		{"supervision", workload.SupervisionProgram, workload.SupervisionSource(8, 16, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := compile(t, tc.prog)
+			ref, err := chase.New(m).Solve(chase.Instance(tc.data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			script, err := Translate(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Execute(script, m, tc.data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rel := range m.Derived {
+				if !got[rel].Equal(ref[rel], 1e-6) {
+					t.Errorf("%s differs between frame and chase:\n%s",
+						rel, strings.Join(got[rel].Diff(ref[rel], 1e-6, 5), "\n"))
+				}
+			}
+		})
+	}
+}
+
+func TestTranslateTgdShapes(t *testing.T) {
+	m := compile(t, workload.GDPProgram)
+	script, err := Translate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Programs) != 5 {
+		t.Fatalf("programs = %d", len(script.Programs))
+	}
+	// The vectorial product has a Merge step on q and r.
+	var rgdp *Program
+	for _, p := range script.Programs {
+		if p.Target == "RGDP" {
+			rgdp = p
+		}
+	}
+	foundMerge := false
+	for _, s := range rgdp.Steps {
+		if mg, ok := s.(Merge); ok {
+			foundMerge = true
+			if len(mg.By) != 2 {
+				t.Errorf("merge by = %v", mg.By)
+			}
+		}
+	}
+	if !foundMerge {
+		t.Error("RGDP program must contain a Merge step")
+	}
+	// The black box becomes a SeriesOp.
+	var gdpt *Program
+	for _, p := range script.Programs {
+		if p.Target == "GDPT" {
+			gdpt = p
+		}
+	}
+	if _, ok := gdpt.Steps[0].(SeriesOp); !ok {
+		t.Errorf("GDPT program starts with %T", gdpt.Steps[0])
+	}
+}
+
+func TestFrameExprErrors(t *testing.T) {
+	f := NewFrame("a")
+	row := []model.Value{model.Str("x")}
+	f.Rows = append(f.Rows, row)
+	if _, err := evalExpr(Apply{Op: "add", Args: []Expr{Col{Name: "a"}, Const{V: 1}}}, f, row); err == nil {
+		t.Error("arithmetic over string must fail")
+	}
+	if _, err := evalExpr(Apply{Op: "nosuch", Args: []Expr{Const{V: 1}}}, f, row); err == nil {
+		t.Error("unknown op must fail")
+	}
+	if _, err := evalExpr(DimApply{Fn: "quarter", X: Col{Name: "a"}}, f, row); err == nil {
+		t.Error("quarter of string must fail")
+	}
+	if _, err := evalExpr(PShift{X: Col{Name: "a"}, N: 1}, f, row); err == nil {
+		t.Error("shift of string must fail")
+	}
+}
+
+func TestFrameSortAndClone(t *testing.T) {
+	f := NewFrame("a")
+	f.Rows = [][]model.Value{{model.Num(2)}, {model.Num(1)}}
+	c := f.Clone()
+	f.Sort()
+	if v, _ := f.Rows[0][0].AsNumber(); v != 1 {
+		t.Error("sort")
+	}
+	if v, _ := c.Rows[0][0].AsNumber(); v != 2 {
+		t.Error("clone must be independent")
+	}
+}

@@ -1,0 +1,264 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fuse simplifies a normalized mapping in place by inlining auxiliary
+// tuple-level tgds into their (single) consumers, reproducing the paper's
+// simplification step: statement (5), first normalized into (5a)-(5d), ends
+// up as the single tgd
+//
+//	GDPT(q, y1) ∧ GDPT(q-1, y2) → PCHNG(q, (y1 - y2) * 100 / y1)
+//
+// Shift tgds fuse by inverting the dimension arithmetic into the consumer's
+// lhs atom (the q-1 above); scalar and vectorial tgds fuse by substituting
+// their measure expression for the consumed measure variable. Atoms that
+// become identical after fusion are merged. Black-box tgds and their
+// operands are never fused: a black box needs its whole operand
+// materialized.
+func Fuse(m *Mapping) {
+	changed := make(map[*Tgd]bool)
+	for fuseOnce(m, changed) {
+	}
+	dedupAtoms(m)
+	for t := range changed {
+		canonicalizeMeasureVars(t)
+	}
+	m.restratify()
+	m.rebuildEgds()
+}
+
+// fuseOnce performs one inlining step; it reports whether anything changed.
+func fuseOnce(m *Mapping, changed map[*Tgd]bool) bool {
+	uses := make(map[string]int)
+	blackBoxOperand := make(map[string]bool)
+	for _, t := range m.Tgds {
+		for _, a := range t.Lhs {
+			uses[a.Rel]++
+			if t.Kind == BlackBox {
+				blackBoxOperand[a.Rel] = true
+			}
+		}
+	}
+	for i, t := range m.Tgds {
+		rel := t.Target()
+		if !t.Auxiliary || t.Kind != TupleLevel || uses[rel] != 1 || blackBoxOperand[rel] {
+			continue
+		}
+		consumer, atomIdx := findConsumer(m, rel)
+		if consumer == nil || consumer.Kind == BlackBox || consumer.Kind == Copy || consumer.Kind == PadVector {
+			// Padded tgds need both operands materialized: their semantics
+			// ranges over each operand's whole tuple set.
+			continue
+		}
+		if inline(t, consumer, atomIdx) {
+			changed[consumer] = true
+			m.Tgds = append(m.Tgds[:i], m.Tgds[i+1:]...)
+			delete(m.Schemas, rel)
+			return true
+		}
+	}
+	return false
+}
+
+func findConsumer(m *Mapping, rel string) (*Tgd, int) {
+	for _, t := range m.Tgds {
+		for k, a := range t.Lhs {
+			if a.Rel == rel {
+				return t, k
+			}
+		}
+	}
+	return nil, -1
+}
+
+// inline replaces consumer's atom at atomIdx (referencing t's target) with
+// t's lhs atoms, substituting t's rhs terms against the consumer's atom
+// terms. It reports whether the fusion was applicable.
+func inline(t *Tgd, consumer *Tgd, atomIdx int) bool {
+	atom := consumer.Lhs[atomIdx]
+
+	// Build the variable substitution by unifying t's rhs dimension terms
+	// with the consumer atom's terms. Only variable(+shift) terms are
+	// invertible; function terms and constants block fusion.
+	subst := make(map[string]DimTerm)
+	for j, rt := range t.Rhs.Dims {
+		ct := atom.Dims[j]
+		if rt.Func != "" || rt.Const != nil || ct.Func != "" || ct.Const != nil {
+			return false
+		}
+		// Unify rt.Var + rt.Shift = ct.Var + ct.Shift, so
+		// rt.Var = ct.Var + (ct.Shift - rt.Shift).
+		want := DimTerm{Var: ct.Var, Shift: ct.Shift - rt.Shift}
+		if prev, ok := subst[rt.Var]; ok && prev != want {
+			return false
+		}
+		subst[rt.Var] = want
+	}
+
+	// Fresh-rename t's remaining variables (measure variables, plus any lhs
+	// dimension variable that does not reach the rhs) against the
+	// consumer's variables.
+	taken := consumer.Vars()
+	rename := make(map[string]string)
+	freshen := func(v string) string {
+		if v == "" {
+			return v
+		}
+		if _, isSubst := subst[v]; isSubst {
+			return v
+		}
+		if r, ok := rename[v]; ok {
+			return r
+		}
+		name := v
+		for n := 2; taken[name]; n++ {
+			name = fmt.Sprintf("%s%d", v, n)
+		}
+		taken[name] = true
+		rename[v] = name
+		return name
+	}
+
+	newAtoms := make([]Atom, 0, len(t.Lhs))
+	for _, a := range t.Lhs {
+		na := a.Clone()
+		for j, d := range na.Dims {
+			if s, ok := subst[d.Var]; ok {
+				na.Dims[j] = DimTerm{Var: s.Var, Shift: s.Shift + d.Shift, Func: d.Func}
+			} else {
+				na.Dims[j].Var = freshen(d.Var)
+			}
+		}
+		na.MVar = freshen(na.MVar)
+		newAtoms = append(newAtoms, na)
+	}
+
+	measure := t.Measure.Clone()
+	measure.RenameAll(rename)
+	// Dimension substitutions never appear in measure expressions: measure
+	// variables and dimension variables live in disjoint positions by
+	// construction.
+
+	lhs := make([]Atom, 0, len(consumer.Lhs)+len(newAtoms)-1)
+	lhs = append(lhs, consumer.Lhs[:atomIdx]...)
+	lhs = append(lhs, newAtoms...)
+	lhs = append(lhs, consumer.Lhs[atomIdx+1:]...)
+	consumer.Lhs = lhs
+	consumer.Measure = consumer.Measure.Substitute(atom.MVar, measure)
+	return true
+}
+
+// dedupAtoms merges lhs atoms that are syntactically identical on relation
+// and dimension terms, unifying their measure variables. This turns the
+// three-atom fusion result for PCHNG into the paper's two-atom tgd (5).
+func dedupAtoms(m *Mapping) {
+	for _, t := range m.Tgds {
+		if t.Kind == BlackBox || t.Kind == Copy || t.Kind == PadVector || len(t.Lhs) < 2 {
+			continue
+		}
+		kept := t.Lhs[:0:0]
+		for _, a := range t.Lhs {
+			dup := -1
+			for k, b := range kept {
+				if sameAtomKey(a, b) {
+					dup = k
+					break
+				}
+			}
+			if dup < 0 {
+				kept = append(kept, a)
+				continue
+			}
+			if a.MVar != "" && kept[dup].MVar != "" && a.MVar != kept[dup].MVar && t.Measure != nil {
+				t.Measure.Rename(a.MVar, kept[dup].MVar)
+			}
+		}
+		t.Lhs = kept
+	}
+}
+
+// canonicalizeMeasureVars renames the measure variables of a fused tgd to
+// y1, …, yk (in order of first occurrence across lhs atoms), undoing the
+// arbitrary fresh names introduced while inlining. Dimension variables are
+// left untouched; clashes with them are avoided by switching to an m
+// prefix.
+func canonicalizeMeasureVars(t *Tgd) {
+	if t.Kind == BlackBox || t.Kind == Copy {
+		return
+	}
+	dimVars := make(map[string]bool)
+	for _, a := range t.Lhs {
+		for _, d := range a.Dims {
+			dimVars[d.Var] = true
+		}
+	}
+	prefix := "y"
+	for prefixCollides(prefix, dimVars) {
+		prefix = "m" + prefix
+	}
+	rename := make(map[string]string)
+	n := 0
+	for _, a := range t.Lhs {
+		if a.MVar == "" {
+			continue
+		}
+		if _, ok := rename[a.MVar]; !ok {
+			n++
+			rename[a.MVar] = fmt.Sprintf("%s%d", prefix, n)
+		}
+	}
+	if n == 1 {
+		// A single measure variable reads best unnumbered.
+		for old := range rename {
+			if !dimVars[prefix] {
+				rename[old] = prefix
+			}
+		}
+	}
+	for i := range t.Lhs {
+		if t.Lhs[i].MVar != "" {
+			t.Lhs[i].MVar = rename[t.Lhs[i].MVar]
+		}
+	}
+	if t.Measure != nil {
+		t.Measure.RenameAll(rename)
+	}
+}
+
+// prefixCollides reports whether any dimension variable is the prefix
+// itself or the prefix followed by digits, which would clash with the
+// canonical names prefix1…prefixN.
+func prefixCollides(prefix string, dimVars map[string]bool) bool {
+	for v := range dimVars {
+		if !strings.HasPrefix(v, prefix) {
+			continue
+		}
+		rest := v[len(prefix):]
+		numeric := true
+		for _, c := range rest {
+			if c < '0' || c > '9' {
+				numeric = false
+				break
+			}
+		}
+		if numeric {
+			return true
+		}
+	}
+	return false
+}
+
+func sameAtomKey(a, b Atom) bool {
+	if a.Rel != b.Rel || len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package matlabgen
+
+import (
+	"strings"
+	"testing"
+
+	"exlengine/internal/frame"
+)
+
+func TestMatlabPadMerge(t *testing.T) {
+	m := compile(t, `
+cube A(t: year) measure v
+cube B(t: year) measure v
+S := vsum0(A, B)
+`)
+	ml, err := Translate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"outerjoin(", "'MergeKeys', true", "fillmissing("} {
+		if !strings.Contains(ml, frag) {
+			t.Errorf("Matlab pad output missing %q:\n%s", frag, ml)
+		}
+	}
+}
+
+func TestMatlabRenameStep(t *testing.T) {
+	out := PrintProgram(&frame.Program{Steps: []frame.Step{
+		frame.Rename{Out: "y", In: "x", From: []string{"a"}, To: []string{"b"}},
+	}})
+	if !strings.Contains(out, "y = x;") || !strings.Contains(out, "VariableNames{'a'} = 'b'") {
+		t.Errorf("rename output:\n%s", out)
+	}
+}
+
+func TestMatlabFilterAndShiftExpr(t *testing.T) {
+	m := compile(t, "cube A(t: quarter) measure v\nB := shift(A, -2)")
+	ml, err := Translate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ml, "- 2") {
+		t.Errorf("negative shift missing:\n%s", ml)
+	}
+}

@@ -1,0 +1,241 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eps is the default tolerance used when comparing measures produced by
+// different target engines.
+const Eps = 1e-9
+
+// ErrFunctional is returned by Cube.Put when a second, different measure
+// value is asserted for an existing dimension tuple — the violation of the
+// egd F(x…,y1) ∧ F(x…,y2) → y1 = y2 that the paper's mappings enforce.
+var ErrFunctional = errors.New("model: functional dependency violation (egd)")
+
+// Tuple is one cube tuple (x1, …, xn, y): the dimension coordinates plus
+// the measure.
+type Tuple struct {
+	Dims    []Value
+	Measure float64
+}
+
+// Cube is an in-memory cube instance: a schema plus a sparse, functional
+// set of tuples keyed by dimension tuple.
+type Cube struct {
+	schema Schema
+	rows   map[string]Tuple
+}
+
+// NewCube returns an empty cube instance for the schema.
+func NewCube(schema Schema) *Cube {
+	return &Cube{schema: schema, rows: make(map[string]Tuple)}
+}
+
+// Schema returns the cube's schema.
+func (c *Cube) Schema() Schema { return c.schema }
+
+// Len returns the number of tuples in the cube.
+func (c *Cube) Len() int { return len(c.rows) }
+
+// Put asserts the measure for the dimension tuple. Asserting the same value
+// twice is a no-op (up to Eps); asserting a different value returns
+// ErrFunctional, mirroring chase failure on an egd involving constants.
+func (c *Cube) Put(dims []Value, measure float64) error {
+	if len(dims) != len(c.schema.Dims) {
+		return fmt.Errorf("model: cube %s expects %d dimensions, got %d", c.schema.Name, len(c.schema.Dims), len(dims))
+	}
+	key := EncodeKey(dims)
+	if old, ok := c.rows[key]; ok {
+		if almostEqual(old.Measure, measure) {
+			return nil
+		}
+		return fmt.Errorf("%w: %s%v has values %v and %v", ErrFunctional, c.schema.Name, dims, old.Measure, measure)
+	}
+	d := make([]Value, len(dims))
+	copy(d, dims)
+	c.rows[key] = Tuple{Dims: d, Measure: measure}
+	return nil
+}
+
+// Replace sets the measure for the dimension tuple, overwriting any
+// previous value. It is used by the store when new versions of elementary
+// cubes arrive.
+func (c *Cube) Replace(dims []Value, measure float64) error {
+	if len(dims) != len(c.schema.Dims) {
+		return fmt.Errorf("model: cube %s expects %d dimensions, got %d", c.schema.Name, len(c.schema.Dims), len(dims))
+	}
+	d := make([]Value, len(dims))
+	copy(d, dims)
+	c.rows[EncodeKey(dims)] = Tuple{Dims: d, Measure: measure}
+	return nil
+}
+
+// Get returns the measure for the dimension tuple, if present.
+func (c *Cube) Get(dims []Value) (float64, bool) {
+	t, ok := c.rows[EncodeKey(dims)]
+	if !ok {
+		return 0, false
+	}
+	return t.Measure, true
+}
+
+// Delete removes the tuple for the dimension tuple, reporting whether it
+// was present.
+func (c *Cube) Delete(dims []Value) bool {
+	key := EncodeKey(dims)
+	_, ok := c.rows[key]
+	delete(c.rows, key)
+	return ok
+}
+
+// Tuples returns all tuples sorted by dimension values. Sorting gives every
+// engine the same deterministic iteration order, which keeps generated
+// artifacts and test expectations stable.
+func (c *Cube) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(c.rows))
+	for _, t := range c.rows {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return compareDims(out[i].Dims, out[j].Dims) < 0 })
+	return out
+}
+
+// ForEach calls fn on every tuple in unspecified order; it stops early and
+// returns the first non-nil error.
+func (c *Cube) ForEach(fn func(Tuple) error) error {
+	for _, t := range c.rows {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the cube.
+func (c *Cube) Clone() *Cube {
+	out := NewCube(c.schema)
+	for k, t := range c.rows {
+		d := make([]Value, len(t.Dims))
+		copy(d, t.Dims)
+		out.rows[k] = Tuple{Dims: d, Measure: t.Measure}
+	}
+	return out
+}
+
+// Equal reports whether two cubes contain the same tuples, with measures
+// compared within tol. Schemas are compared on dimensions only, so a cube
+// and its renamed copy in the target schema compare equal.
+func (c *Cube) Equal(o *Cube, tol float64) bool {
+	if c.Len() != o.Len() || !c.schema.SameDims(o.schema) {
+		return false
+	}
+	for k, t := range c.rows {
+		ot, ok := o.rows[k]
+		if !ok || math.Abs(t.Measure-ot.Measure) > tol*(1+math.Abs(t.Measure)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of up to max differences
+// between the cubes, for test failure messages.
+func (c *Cube) Diff(o *Cube, tol float64, max int) []string {
+	var out []string
+	add := func(s string) bool {
+		if len(out) < max {
+			out = append(out, s)
+		}
+		return len(out) < max
+	}
+	for _, t := range c.Tuples() {
+		om, ok := o.Get(t.Dims)
+		if !ok {
+			if !add(fmt.Sprintf("missing in other: %v -> %v", formatDims(t.Dims), t.Measure)) {
+				return out
+			}
+			continue
+		}
+		if math.Abs(t.Measure-om) > tol*(1+math.Abs(t.Measure)) {
+			if !add(fmt.Sprintf("measure mismatch at %v: %v vs %v", formatDims(t.Dims), t.Measure, om)) {
+				return out
+			}
+		}
+	}
+	for _, t := range o.Tuples() {
+		if _, ok := c.Get(t.Dims); !ok {
+			if !add(fmt.Sprintf("extra in other: %v -> %v", formatDims(t.Dims), t.Measure)) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// CheckFunctional verifies the egd on the cube. It always succeeds for
+// cubes built through Put, and exists so engines that bulk-load tuples can
+// assert the invariant.
+func (c *Cube) CheckFunctional() error {
+	seen := make(map[string]float64, len(c.rows))
+	for _, t := range c.rows {
+		k := EncodeKey(t.Dims)
+		if prev, ok := seen[k]; ok && !almostEqual(prev, t.Measure) {
+			return fmt.Errorf("%w: %s", ErrFunctional, c.schema.Name)
+		}
+		seen[k] = t.Measure
+	}
+	return nil
+}
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= Eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func compareDims(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+func formatDims(dims []Value) string {
+	s := "("
+	for i, d := range dims {
+		if i > 0 {
+			s += ", "
+		}
+		s += d.String()
+	}
+	return s + ")"
+}
+
+// SortedSeries extracts a time series (ordered by time) from a cube with a
+// single time dimension. It returns the periods and measures in
+// chronological order. It fails if the cube is not a time series.
+func (c *Cube) SortedSeries() ([]Period, []float64, error) {
+	if !c.schema.IsTimeSeries() {
+		return nil, nil, fmt.Errorf("model: cube %s is not a time series", c.schema.Name)
+	}
+	ts := c.Tuples()
+	periods := make([]Period, len(ts))
+	vals := make([]float64, len(ts))
+	for i, t := range ts {
+		p, ok := t.Dims[0].AsPeriod()
+		if !ok {
+			return nil, nil, fmt.Errorf("model: cube %s has non-period time value %v", c.schema.Name, t.Dims[0])
+		}
+		periods[i] = p
+		vals[i] = t.Measure
+	}
+	return periods, vals, nil
+}

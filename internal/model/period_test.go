@@ -1,0 +1,199 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPeriodString(t *testing.T) {
+	tests := []struct {
+		p    Period
+		want string
+	}{
+		{NewDaily(2001, time.March, 15), "2001-03-15"},
+		{NewDaily(1969, time.December, 31), "1969-12-31"},
+		{NewMonthly(2001, time.March), "2001-03"},
+		{NewQuarterly(2001, 1), "2001-Q1"},
+		{NewQuarterly(2001, 4), "2001-Q4"},
+		{NewAnnual(2001), "2001"},
+		{NewDaily(2000, time.February, 29), "2000-02-29"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%#v) = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestParsePeriodRoundTrip(t *testing.T) {
+	inputs := []string{"2001-03-15", "2001-03", "2001-Q2", "2001", "1969-12-31", "0004-Q4"}
+	for _, in := range inputs {
+		p, err := ParsePeriod(in)
+		if err != nil {
+			t.Fatalf("ParsePeriod(%q): %v", in, err)
+		}
+		if got := p.String(); got != in {
+			t.Errorf("round trip %q -> %q", in, got)
+		}
+	}
+}
+
+func TestParsePeriodErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "2001-13-40", "2001-Q5", "2001-Q0", "20o1"} {
+		if _, err := ParsePeriod(in); err == nil {
+			t.Errorf("ParsePeriod(%q): want error", in)
+		}
+	}
+}
+
+func TestShift(t *testing.T) {
+	tests := []struct {
+		p    Period
+		s    int64
+		want string
+	}{
+		{NewDaily(2001, time.March, 1), -1, "2001-02-28"},
+		{NewDaily(2000, time.February, 28), 1, "2000-02-29"},
+		{NewDaily(2001, time.December, 31), 1, "2002-01-01"},
+		{NewMonthly(2001, time.January), -1, "2000-12"},
+		{NewMonthly(2001, time.December), 1, "2002-01"},
+		{NewQuarterly(2001, 1), -1, "2000-Q4"},
+		{NewQuarterly(2001, 4), 1, "2002-Q1"},
+		{NewAnnual(2001), 10, "2011"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Shift(tt.s).String(); got != tt.want {
+			t.Errorf("%s.Shift(%d) = %s, want %s", tt.p, tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestShiftInverse(t *testing.T) {
+	// shift(s) then shift(-s) is the identity for any frequency.
+	f := func(ord int64, s int32, freq uint8) bool {
+		fr := Frequency(freq%4 + 1)
+		p := Period{Freq: fr, Ord: ord % 1000000}
+		return p.Shift(int64(s)).Shift(-int64(s)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvert(t *testing.T) {
+	d := NewDaily(2001, time.May, 17)
+	tests := []struct {
+		to   Frequency
+		want string
+	}{
+		{Monthly, "2001-05"},
+		{Quarterly, "2001-Q2"},
+		{Annual, "2001"},
+		{Daily, "2001-05-17"},
+	}
+	for _, tt := range tests {
+		got, err := d.Convert(tt.to)
+		if err != nil {
+			t.Fatalf("Convert(%s): %v", tt.to, err)
+		}
+		if got.String() != tt.want {
+			t.Errorf("Convert(%s) = %s, want %s", tt.to, got, tt.want)
+		}
+	}
+	m := NewMonthly(2001, time.November)
+	q, err := m.Convert(Quarterly)
+	if err != nil || q.String() != "2001-Q4" {
+		t.Errorf("monthly->quarterly: got %v, %v", q, err)
+	}
+	if _, err := NewAnnual(2001).Convert(Daily); err == nil {
+		t.Error("annual->daily: want error")
+	}
+	if _, err := NewQuarterly(2001, 1).Convert(Monthly); err == nil {
+		t.Error("quarterly->monthly: want error")
+	}
+}
+
+func TestConvertConsistentWithShift(t *testing.T) {
+	// Converting a day to a quarter commutes with the calendar: every day
+	// within a quarter converts to the same quarter.
+	start := NewDaily(1999, time.January, 1)
+	prev, _ := start.Convert(Quarterly)
+	count := 0
+	for i := int64(1); i < 365*3; i++ {
+		q, err := start.Shift(i).Convert(Quarterly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Ord < prev.Ord {
+			t.Fatalf("quarter went backwards at day %s", start.Shift(i))
+		}
+		if q.Ord > prev.Ord {
+			count++
+			prev = q
+		}
+	}
+	if count != 11 {
+		t.Errorf("expected 11 quarter boundaries over 3 years, got %d", count)
+	}
+}
+
+func TestYearMonthQuarter(t *testing.T) {
+	d := NewDaily(2003, time.August, 9)
+	if d.Year() != 2003 {
+		t.Errorf("Year = %d", d.Year())
+	}
+	if m, _ := d.Month(); m != 8 {
+		t.Errorf("Month = %d", m)
+	}
+	if q, _ := d.Quarter(); q != 3 {
+		t.Errorf("Quarter = %d", q)
+	}
+	if q, _ := NewMonthly(2003, time.October).Quarter(); q != 4 {
+		t.Errorf("monthly Quarter = %d", q)
+	}
+	if _, err := NewAnnual(2003).Quarter(); err == nil {
+		t.Error("annual Quarter: want error")
+	}
+	if _, err := NewQuarterly(2003, 2).Month(); err == nil {
+		t.Error("quarterly Month: want error")
+	}
+}
+
+func TestPeriodCompare(t *testing.T) {
+	a := NewQuarterly(2001, 1)
+	b := NewQuarterly(2001, 2)
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("quarterly ordering wrong")
+	}
+	d := NewDaily(2001, time.January, 1)
+	if d.Compare(a) >= 0 { // finer frequency sorts first
+		t.Error("cross-frequency ordering wrong")
+	}
+}
+
+func TestParseFrequency(t *testing.T) {
+	for in, want := range map[string]Frequency{
+		"day": Daily, "DAILY": Daily, "month": Monthly, "quarter": Quarterly,
+		"year": Annual, "annual": Annual,
+	} {
+		got, err := ParseFrequency(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFrequency(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFrequency("fortnight"); err == nil {
+		t.Error("want error for unknown frequency")
+	}
+}
+
+func TestNegativeYearMath(t *testing.T) {
+	p := NewMonthly(0, time.January).Shift(-1)
+	if p.Year() != -1 {
+		t.Errorf("year before epoch: got %d", p.Year())
+	}
+	q := NewQuarterly(0, 1).Shift(-1)
+	if q.Year() != -1 {
+		t.Errorf("quarter before epoch: got year %d", q.Year())
+	}
+}

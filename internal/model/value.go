@@ -1,0 +1,274 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// Value kinds. Measures are always numbers; dimensions may be strings,
+// integers or periods. Booleans appear only as intermediate results of
+// comparisons inside the target engines.
+const (
+	KindInvalid Kind = iota
+	KindNumber
+	KindInt
+	KindString
+	KindPeriod
+	KindBool
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNumber:
+		return "number"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindPeriod:
+		return "period"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed scalar: a dimension coordinate or a measure.
+// The zero Value is invalid.
+type Value struct {
+	kind Kind
+	num  float64
+	i    int64
+	str  string
+	per  Period
+}
+
+// Num returns a numeric (float) value.
+func Num(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Per returns a period value.
+func Per(p Period) Value { return Value{kind: KindPeriod, per: p} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value has been initialized.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsNumber returns the value as a float64. Integers convert losslessly;
+// other kinds report ok=false.
+func (v Value) AsNumber() (float64, bool) {
+	switch v.kind {
+	case KindNumber:
+		return v.num, true
+	case KindInt:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt returns the value as an int64. Numbers convert only when integral.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindNumber:
+		if v.num == float64(int64(v.num)) {
+			return int64(v.num), true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// AsString returns the string payload of a string value.
+func (v Value) AsString() (string, bool) {
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.str, true
+}
+
+// AsPeriod returns the period payload of a period value.
+func (v Value) AsPeriod() (Period, bool) {
+	if v.kind != KindPeriod {
+		return Period{}, false
+	}
+	return v.per, true
+}
+
+// AsBool returns the boolean payload of a bool value.
+func (v Value) AsBool() (bool, bool) {
+	if v.kind != KindBool {
+		return false, false
+	}
+	return v.i != 0, true
+}
+
+// String formats the value for display and for CSV export.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNumber:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return v.str
+	case KindPeriod:
+		return v.per.String()
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "<invalid>"
+	}
+}
+
+// Equal reports exact equality of kind and payload. Integers and numbers
+// compare equal when they denote the same number, so that dimension values
+// computed in different engines (one typed, one numeric) still join.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		a, okA := v.AsNumber()
+		b, okB := o.AsNumber()
+		return okA && okB && a == b
+	}
+	switch v.kind {
+	case KindNumber:
+		return v.num == o.num
+	case KindInt, KindBool:
+		return v.i == o.i
+	case KindString:
+		return v.str == o.str
+	case KindPeriod:
+		return v.per == o.per
+	default:
+		return true
+	}
+}
+
+// Compare defines a total order across values: by kind first (numbers and
+// ints compare numerically against each other), then by payload. It is used
+// to give cubes a deterministic iteration order.
+func (v Value) Compare(o Value) int {
+	va, okA := v.AsNumber()
+	vb, okB := o.AsNumber()
+	if okA && okB {
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.str, o.str)
+	case KindPeriod:
+		return v.per.Compare(o.per)
+	case KindBool:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+	}
+	return 0
+}
+
+// appendKey appends a canonical, injective encoding of the value to b. It
+// is used to build hash keys for dimension tuples.
+func (v Value) appendKey(b []byte) []byte {
+	switch v.kind {
+	case KindNumber:
+		b = append(b, 'n')
+		b = strconv.AppendFloat(b, v.num, 'g', -1, 64)
+	case KindInt:
+		b = append(b, 'n') // same tag as number: 3 and 3.0 must collide
+		b = strconv.AppendFloat(b, float64(v.i), 'g', -1, 64)
+	case KindString:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.str)), 10)
+		b = append(b, ':')
+		b = append(b, v.str...)
+	case KindPeriod:
+		b = append(b, 'p', byte('0'+v.per.Freq))
+		b = strconv.AppendInt(b, v.per.Ord, 10)
+	case KindBool:
+		b = append(b, 'b', byte('0'+v.i))
+	default:
+		b = append(b, '?')
+	}
+	return b
+}
+
+// EncodeKey builds a canonical string key for a dimension tuple. Two tuples
+// encode to the same key exactly when all their values are Equal.
+func EncodeKey(dims []Value) string {
+	b := make([]byte, 0, 16*len(dims))
+	for _, v := range dims {
+		b = v.appendKey(b)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+// ParseValue parses a textual representation into a Value of the given
+// dimension type. It is used by the CSV loader.
+func ParseValue(s string, t DimType) (Value, error) {
+	switch t.Kind {
+	case DimString:
+		return Str(s), nil
+	case DimInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("model: invalid int %q: %v", s, err)
+		}
+		return Int(i), nil
+	case DimPeriod:
+		p, err := ParsePeriod(s)
+		if err != nil {
+			return Value{}, err
+		}
+		if t.Freq != FreqInvalid && p.Freq != t.Freq {
+			return Value{}, fmt.Errorf("model: period %q has frequency %s, want %s", s, p.Freq, t.Freq)
+		}
+		return Per(p), nil
+	default:
+		return Value{}, fmt.Errorf("model: cannot parse value for dimension kind %v", t.Kind)
+	}
+}

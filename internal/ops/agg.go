@@ -1,0 +1,146 @@
+package ops
+
+import (
+	"math"
+	"sort"
+)
+
+// Aggregator consumes a bag of measures and produces one value. Bags have
+// multiset semantics: repeated elements count (the paper's footnote 9).
+// A fresh Aggregator must be obtained per group via NewAggregator.
+type Aggregator interface {
+	// Add feeds one measure into the bag.
+	Add(v float64)
+	// Result returns the aggregate of the bag fed so far. It is only
+	// called on non-empty bags: per the paper, "the cube tuple exists
+	// only if the bag V is non-empty".
+	Result() float64
+}
+
+// NewAggregator returns a fresh aggregator for the named aggregation
+// operator ("sum", "avg", "min", "max", "count", "median", "stddev",
+// "prod").
+func NewAggregator(name string) (Aggregator, error) {
+	switch name {
+	case "sum":
+		return &sumAgg{}, nil
+	case "avg":
+		return &avgAgg{}, nil
+	case "min":
+		return &minAgg{first: true}, nil
+	case "max":
+		return &maxAgg{first: true}, nil
+	case "count":
+		return &countAgg{}, nil
+	case "median":
+		return &medianAgg{}, nil
+	case "stddev":
+		return &stddevAgg{}, nil
+	case "prod":
+		return &prodAgg{p: 1}, nil
+	default:
+		return nil, errUnknown("aggregation", name)
+	}
+}
+
+// IsAggregation reports whether name is a registered aggregation operator.
+func IsAggregation(name string) bool {
+	i, ok := infos[name]
+	return ok && i.Class == ClassAggregation
+}
+
+type sumAgg struct{ s float64 }
+
+func (a *sumAgg) Add(v float64)   { a.s += v }
+func (a *sumAgg) Result() float64 { return a.s }
+
+type avgAgg struct {
+	s float64
+	n int
+}
+
+func (a *avgAgg) Add(v float64)   { a.s += v; a.n++ }
+func (a *avgAgg) Result() float64 { return a.s / float64(a.n) }
+
+type minAgg struct {
+	m     float64
+	first bool
+}
+
+func (a *minAgg) Add(v float64) {
+	if a.first || v < a.m {
+		a.m = v
+		a.first = false
+	}
+}
+func (a *minAgg) Result() float64 { return a.m }
+
+type maxAgg struct {
+	m     float64
+	first bool
+}
+
+func (a *maxAgg) Add(v float64) {
+	if a.first || v > a.m {
+		a.m = v
+		a.first = false
+	}
+}
+func (a *maxAgg) Result() float64 { return a.m }
+
+type countAgg struct{ n int }
+
+func (a *countAgg) Add(float64)     { a.n++ }
+func (a *countAgg) Result() float64 { return float64(a.n) }
+
+type medianAgg struct{ vs []float64 }
+
+func (a *medianAgg) Add(v float64) { a.vs = append(a.vs, v) }
+func (a *medianAgg) Result() float64 {
+	vs := append([]float64(nil), a.vs...)
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// stddevAgg computes the population standard deviation with Welford's
+// online algorithm for numerical stability.
+type stddevAgg struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (a *stddevAgg) Add(v float64) {
+	a.n++
+	d := v - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (v - a.mean)
+}
+func (a *stddevAgg) Result() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n))
+}
+
+type prodAgg struct{ p float64 }
+
+func (a *prodAgg) Add(v float64)   { a.p *= v }
+func (a *prodAgg) Result() float64 { return a.p }
+
+// Aggregate applies the named aggregation to a complete bag. It is a
+// convenience for engines that materialize groups before aggregating.
+func Aggregate(name string, bag []float64) (float64, error) {
+	agg, err := NewAggregator(name)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range bag {
+		agg.Add(v)
+	}
+	return agg.Result(), nil
+}

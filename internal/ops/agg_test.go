@@ -1,0 +1,158 @@
+package ops
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregate(t *testing.T) {
+	bag := []float64{4, 1, 3, 2}
+	tests := []struct {
+		name string
+		want float64
+	}{
+		{"sum", 10},
+		{"avg", 2.5},
+		{"min", 1},
+		{"max", 4},
+		{"count", 4},
+		{"median", 2.5},
+		{"prod", 24},
+		{"stddev", math.Sqrt(1.25)},
+	}
+	for _, tt := range tests {
+		got, err := Aggregate(tt.name, bag)
+		if err != nil {
+			t.Errorf("%s: %v", tt.name, err)
+			continue
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s(%v) = %v, want %v", tt.name, bag, got, tt.want)
+		}
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m, _ := Aggregate("median", []float64{5, 1, 9}); m != 5 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m, _ := Aggregate("median", []float64{5, 1, 9, 7}); m != 6 {
+		t.Errorf("even median = %v", m)
+	}
+	if m, _ := Aggregate("median", []float64{42}); m != 42 {
+		t.Errorf("singleton median = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutateBag(t *testing.T) {
+	agg, _ := NewAggregator("median")
+	for _, v := range []float64{3, 1, 2} {
+		agg.Add(v)
+	}
+	_ = agg.Result()
+	agg.Add(0)
+	if got := agg.Result(); got != 1.5 {
+		t.Errorf("median after further Add = %v, want 1.5", got)
+	}
+}
+
+func TestBagSemantics(t *testing.T) {
+	// Repeated elements are meaningful (multiset): avg of {2,2,8} is 4.
+	if got, _ := Aggregate("avg", []float64{2, 2, 8}); got != 4 {
+		t.Errorf("bag avg = %v", got)
+	}
+	if got, _ := Aggregate("count", []float64{2, 2, 8}); got != 3 {
+		t.Errorf("bag count = %v", got)
+	}
+}
+
+func TestUnknownAggregator(t *testing.T) {
+	if _, err := NewAggregator("mode"); err == nil {
+		t.Error("unknown aggregator must fail")
+	}
+	if _, err := Aggregate("mode", []float64{1}); err == nil {
+		t.Error("unknown Aggregate must fail")
+	}
+}
+
+func TestIsAggregation(t *testing.T) {
+	for _, n := range []string{"sum", "avg", "min", "max", "count", "median", "stddev", "prod"} {
+		if !IsAggregation(n) {
+			t.Errorf("IsAggregation(%s) = false", n)
+		}
+	}
+	for _, n := range []string{"stl_t", "shift", "ln", "nosuch"} {
+		if IsAggregation(n) {
+			t.Errorf("IsAggregation(%s) = true", n)
+		}
+	}
+}
+
+func TestStddevStability(t *testing.T) {
+	// Welford vs naive on values with a large common offset.
+	base := 1e9
+	vals := []float64{base + 1, base + 2, base + 3, base + 4}
+	got, _ := Aggregate("stddev", vals)
+	want := math.Sqrt(1.25)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("stddev with offset = %v, want %v", got, want)
+	}
+}
+
+func TestAggregatorsQuick(t *testing.T) {
+	// Properties on random bags: min <= median <= max, min <= avg <= max,
+	// sum = avg*count, stddev >= 0.
+	f := func(raw []float64) bool {
+		var bag []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				bag = append(bag, v)
+			}
+		}
+		if len(bag) == 0 {
+			return true
+		}
+		mn, _ := Aggregate("min", bag)
+		mx, _ := Aggregate("max", bag)
+		md, _ := Aggregate("median", bag)
+		av, _ := Aggregate("avg", bag)
+		sm, _ := Aggregate("sum", bag)
+		ct, _ := Aggregate("count", bag)
+		sd, _ := Aggregate("stddev", bag)
+		tol := 1e-6 * (1 + math.Abs(sm))
+		return mn <= md && md <= mx && mn <= av && av <= mx &&
+			math.Abs(sm-av*ct) <= tol && sd >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianEqualsSortMiddleQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		var bag []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				bag = append(bag, v)
+			}
+		}
+		if len(bag) == 0 {
+			return true
+		}
+		got, _ := Aggregate("median", bag)
+		s := append([]float64(nil), bag...)
+		sort.Float64s(s)
+		var want float64
+		if len(s)%2 == 1 {
+			want = s[len(s)/2]
+		} else {
+			want = (s[len(s)/2-1] + s[len(s)/2]) / 2
+		}
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

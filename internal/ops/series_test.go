@@ -1,0 +1,327 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exlengine/internal/model"
+)
+
+func TestSeasonLength(t *testing.T) {
+	for f, want := range map[model.Frequency]int{
+		model.Quarterly: 4, model.Monthly: 12, model.Daily: 7, model.Annual: 1,
+	} {
+		if got := SeasonLength(f); got != want {
+			t.Errorf("SeasonLength(%s) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestDecomposeAdditivity(t *testing.T) {
+	// trend + seasonal + remainder must reconstruct the series exactly.
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 100 + 2*float64(i) + 10*math.Sin(2*math.Pi*float64(i)/4) + math.Cos(float64(i))
+	}
+	tr, se, re := Decompose(vals, 4)
+	for i := range vals {
+		if math.Abs(tr[i]+se[i]+re[i]-vals[i]) > 1e-9 {
+			t.Fatalf("additivity broken at %d", i)
+		}
+	}
+}
+
+func TestDecomposeRecoversTrend(t *testing.T) {
+	// A pure linear series with additive period-4 seasonality: the interior
+	// trend points must be close to the true line, and the seasonal
+	// component must approximate the injected pattern.
+	season := []float64{5, -2, -4, 1}
+	n := 48
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 10 + 3*float64(i) + season[i%4]
+	}
+	tr, se, _ := Decompose(vals, 4)
+	for i := 4; i < n-4; i++ {
+		want := 10 + 3*float64(i)
+		if math.Abs(tr[i]-want) > 3.5 {
+			t.Errorf("trend[%d] = %v, want about %v", i, tr[i], want)
+		}
+	}
+	// Seasonal pattern: same shape up to a constant; compare differences.
+	for k := 1; k < 4; k++ {
+		gotDiff := se[k] - se[0]
+		wantDiff := season[k] - season[0]
+		if math.Abs(gotDiff-wantDiff) > 1.5 {
+			t.Errorf("seasonal diff at pos %d = %v, want about %v", k, gotDiff, wantDiff)
+		}
+	}
+}
+
+func TestDecomposeSeasonalZeroMean(t *testing.T) {
+	vals := make([]float64, 24)
+	for i := range vals {
+		vals[i] = float64(i%4)*3 + float64(i)
+	}
+	_, se, _ := Decompose(vals, 4)
+	sum := 0.0
+	for i := 0; i < 4; i++ {
+		sum += se[i]
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("seasonal component not zero-mean over a cycle: %v", sum)
+	}
+}
+
+func TestDecomposeEdgeCases(t *testing.T) {
+	tr, se, re := Decompose(nil, 4)
+	if len(tr) != 0 || len(se) != 0 || len(re) != 0 {
+		t.Error("empty series must give empty components")
+	}
+	tr, se, re = Decompose([]float64{7}, 4)
+	if tr[0] != 7 || se[0] != 0 || re[0] != 0 {
+		t.Errorf("singleton: %v %v %v", tr, se, re)
+	}
+	// season length 1: no seasonal component.
+	vals := []float64{1, 2, 3, 4}
+	_, se, _ = Decompose(vals, 1)
+	for _, s := range se {
+		if s != 0 {
+			t.Error("seasonLen 1 must have zero seasonal")
+		}
+	}
+	// season length 0 is treated as 1.
+	_, se, _ = Decompose(vals, 0)
+	for _, s := range se {
+		if s != 0 {
+			t.Error("seasonLen 0 must behave like 1")
+		}
+	}
+	// series shorter than a cycle: no seasonal estimation.
+	_, se, _ = Decompose([]float64{1, 2}, 4)
+	for _, s := range se {
+		if s != 0 {
+			t.Error("short series must have zero seasonal")
+		}
+	}
+}
+
+func TestDecomposeAdditivityQuick(t *testing.T) {
+	f := func(raw []float64, sl uint8) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				vals = append(vals, v)
+			}
+		}
+		seasonLen := int(sl%13) + 1
+		tr, se, re := Decompose(vals, seasonLen)
+		if len(tr) != len(vals) || len(se) != len(vals) || len(re) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Abs(tr[i]+se[i]+re[i]-vals[i]) > 1e-6*(1+math.Abs(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	got := MovingAverage([]float64{2, 4, 6, 8}, 2)
+	want := []float64{2, 3, 5, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MovingAverage = %v, want %v", got, want)
+		}
+	}
+	// Window 1 is the identity.
+	id := MovingAverage([]float64{3, 1, 4}, 1)
+	for i, v := range []float64{3, 1, 4} {
+		if id[i] != v {
+			t.Fatal("window 1 must be identity")
+		}
+	}
+	// Window larger than series: running mean.
+	rm := MovingAverage([]float64{2, 4}, 10)
+	if rm[0] != 2 || rm[1] != 3 {
+		t.Errorf("oversized window = %v", rm)
+	}
+}
+
+func TestLinearTrend(t *testing.T) {
+	// An exact line is reproduced exactly.
+	vals := []float64{1, 3, 5, 7, 9}
+	got := LinearTrend(vals)
+	for i := range vals {
+		if math.Abs(got[i]-vals[i]) > 1e-9 {
+			t.Fatalf("LinearTrend on a line: %v", got)
+		}
+	}
+	if out := LinearTrend(nil); len(out) != 0 {
+		t.Error("empty input")
+	}
+	if out := LinearTrend([]float64{5}); out[0] != 5 {
+		t.Error("singleton input")
+	}
+	// Constant series: flat fit.
+	got = LinearTrend([]float64{4, 4, 4})
+	for _, v := range got {
+		if math.Abs(v-4) > 1e-9 {
+			t.Errorf("constant series fit = %v", got)
+		}
+	}
+}
+
+func TestSeriesFuncs(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+
+	cs, err := apply(t, "cumsum", vals, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[7] != 36 || cs[0] != 1 {
+		t.Errorf("cumsum = %v", cs)
+	}
+
+	ma, err := apply(t, "movavg", vals, 4, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma[7] != 6.5 {
+		t.Errorf("movavg = %v", ma)
+	}
+	if _, err := apply(t, "movavg", vals, 4, nil); err == nil {
+		t.Error("movavg without window must fail")
+	}
+	if _, err := apply(t, "movavg", vals, 4, []float64{0}); err == nil {
+		t.Error("movavg window 0 must fail")
+	}
+
+	lt, err := apply(t, "lintrend", vals, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lt[0]-1) > 1e-9 || math.Abs(lt[7]-8) > 1e-9 {
+		t.Errorf("lintrend = %v", lt)
+	}
+
+	trend, err := apply(t, "stl_t", vals, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seas, err := apply(t, "stl_s", vals, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irr, err := apply(t, "stl_i", vals, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(trend[i]+seas[i]+irr[i]-vals[i]) > 1e-9 {
+			t.Fatal("stl components must sum to the series")
+		}
+	}
+
+	if _, err := Series("nosuch"); err == nil {
+		t.Error("unknown series op must fail")
+	}
+}
+
+func apply(t *testing.T, name string, vals []float64, sl int, params []float64) ([]float64, error) {
+	t.Helper()
+	f, err := Series(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f(vals, sl, params)
+}
+
+func TestIsBlackBox(t *testing.T) {
+	for _, n := range []string{"stl_t", "stl_s", "stl_i", "movavg", "cumsum", "lintrend"} {
+		if !IsBlackBox(n) {
+			t.Errorf("IsBlackBox(%s) = false", n)
+		}
+	}
+	if IsBlackBox("sum") || IsBlackBox("nosuch") {
+		t.Error("sum is not a black box")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	info, ok := Lookup("stl_t")
+	if !ok || info.Class != ClassBlackBox || info.CubeArgs != 1 {
+		t.Errorf("Lookup(stl_t) = %+v, %v", info, ok)
+	}
+	info, ok = Lookup("shift")
+	if !ok || info.Class != ClassShift || info.Params != 1 {
+		t.Errorf("Lookup(shift) = %+v, %v", info, ok)
+	}
+	if _, ok := Lookup("frobnicate"); ok {
+		t.Error("Lookup of unknown must fail")
+	}
+	names := Names()
+	if len(names) != len(infos) {
+		t.Errorf("Names() = %d entries, want %d", len(names), len(infos))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("Names() must be sorted")
+		}
+	}
+	for _, c := range []Class{ClassScalar, ClassVector, ClassShift, ClassAggregation, ClassBlackBox, ClassDimension, ClassInvalid} {
+		if c.String() == "" {
+			t.Error("Class.String empty")
+		}
+	}
+}
+
+func TestSupportMatrix(t *testing.T) {
+	// The chase supports everything.
+	for _, n := range Names() {
+		if !Supports(TargetChase, n) {
+			t.Errorf("chase must support %s", n)
+		}
+	}
+	// ETL has no native whole-series step.
+	if Supports(TargetETL, "stl_t") {
+		t.Error("ETL must not support stl_t natively")
+	}
+	if !Supports(TargetETL, "sum") || !Supports(TargetETL, "add") {
+		t.Error("ETL must support aggregations and arithmetic")
+	}
+	if !Supports(TargetSQL, "stl_t") {
+		t.Error("SQL supports stl_t via tabular functions")
+	}
+	if Supports(TargetSQL, "vsum0") {
+		t.Error("SQL must not support padded vectorial operators (no outer joins)")
+	}
+	if !Supports(TargetETL, "vsum0") || !Supports(TargetFrame, "vsub0") || !Supports(TargetChase, "vsum0") {
+		t.Error("ETL, frame and chase must support padded vectorial operators")
+	}
+	if p := Preference("vsum0"); p[0] != TargetFrame {
+		t.Errorf("vsum0 preference = %v", p)
+	}
+	if Supports(TargetSQL, "frobnicate") {
+		t.Error("unknown operator is unsupported")
+	}
+	// Preferences put frame first for black boxes, SQL first for aggregations.
+	if p := Preference("stl_t"); p[0] != TargetFrame {
+		t.Errorf("stl_t preference = %v", p)
+	}
+	if p := Preference("sum"); p[0] != TargetSQL {
+		t.Errorf("sum preference = %v", p)
+	}
+	if p := Preference("add"); p[0] != TargetETL {
+		t.Errorf("add preference = %v", p)
+	}
+	if p := Preference("shift"); p[0] != TargetSQL {
+		t.Errorf("shift preference = %v", p)
+	}
+}

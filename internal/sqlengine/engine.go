@@ -1,0 +1,268 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"exlengine/internal/model"
+)
+
+// TypeKind classifies SQL column types.
+type TypeKind uint8
+
+// Column type kinds.
+const (
+	KDouble TypeKind = iota
+	KInteger
+	KVarchar
+	KPeriod
+)
+
+// ColType is a SQL column type; period columns carry their frequency
+// (declared as DAY, MONTH, QUARTER or YEAR).
+type ColType struct {
+	Kind TypeKind
+	Freq model.Frequency
+}
+
+// String returns the DDL name of the type.
+func (t ColType) String() string {
+	switch t.Kind {
+	case KDouble:
+		return "DOUBLE"
+	case KInteger:
+		return "INTEGER"
+	case KVarchar:
+		return "VARCHAR"
+	case KPeriod:
+		return strings.ToUpper(t.Freq.String())
+	default:
+		return "UNKNOWN"
+	}
+}
+
+func parseColType(name string) (ColType, error) {
+	switch name {
+	case "double", "float", "real", "numeric", "decimal":
+		return ColType{Kind: KDouble}, nil
+	case "integer", "int", "bigint":
+		return ColType{Kind: KInteger}, nil
+	case "varchar", "text", "char", "string":
+		return ColType{Kind: KVarchar}, nil
+	case "day", "date":
+		return ColType{Kind: KPeriod, Freq: model.Daily}, nil
+	case "month":
+		return ColType{Kind: KPeriod, Freq: model.Monthly}, nil
+	case "quarter":
+		return ColType{Kind: KPeriod, Freq: model.Quarterly}, nil
+	case "year":
+		return ColType{Kind: KPeriod, Freq: model.Annual}, nil
+	default:
+		return ColType{}, fmt.Errorf("sql: unknown column type %q", name)
+	}
+}
+
+// Column is a named, typed table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Table is an in-memory relation: ordered columns and rows of values.
+type Table struct {
+	Name string
+	Cols []Column
+	Rows [][]model.Value
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SortRows orders the rows by all columns left to right, giving tests and
+// exports a deterministic order.
+func (t *Table) SortRows() {
+	sort.Slice(t.Rows, func(i, j int) bool {
+		for k := range t.Cols {
+			if c := t.Rows[i][k].Compare(t.Rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// String renders the table as a small fixed-width text grid (for CLI
+// output and debugging).
+func (t *Table) String() string {
+	var b strings.Builder
+	for i, c := range t.Cols {
+		if i > 0 {
+			b.WriteString("\t")
+		}
+		b.WriteString(c.Name)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteString("\t")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TabularFunc is a user- or system-defined tabular function usable in FROM
+// position: it consumes whole tables (plus scalar parameters) and returns a
+// table. Black-box operators such as STL_T are registered this way,
+// matching the paper's "system provided API … or a user-defined stored
+// function".
+type TabularFunc func(args []*Table, params []float64) (*Table, error)
+
+// DB is an in-memory SQL database.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*selectStmt
+	tabfns map[string]TabularFunc
+}
+
+// NewDB returns an empty database with the standard tabular functions
+// (STL_T, STL_S, STL_I, MOVAVG, CUMSUM, LINTREND) registered.
+func NewDB() *DB {
+	db := &DB{
+		tables: make(map[string]*Table),
+		views:  make(map[string]*selectStmt),
+		tabfns: make(map[string]TabularFunc),
+	}
+	registerStandardTabularFuncs(db)
+	return db
+}
+
+// RegisterTabular registers (or replaces) a tabular function under the
+// given name (case-insensitive).
+func (db *DB) RegisterTabular(name string, fn TabularFunc) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tabfns[strings.ToLower(name)] = fn
+}
+
+// Table returns the named table (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Exec parses and executes a script of semicolon-separated statements,
+// discarding SELECT results. It stops at the first error.
+func (db *DB) Exec(src string) error {
+	stmts, err := parseScript(src)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if _, err := db.run(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query parses and executes a single SELECT, returning the result table.
+func (db *DB) Query(src string) (*Table, error) {
+	stmts, err := parseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: Query expects exactly one statement, got %d", len(stmts))
+	}
+	sel, ok := stmts[0].(*selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query expects a SELECT")
+	}
+	return db.evalSelect(sel)
+}
+
+func (db *DB) run(s stmt) (*Table, error) {
+	switch s := s.(type) {
+	case *createStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, exists := db.tables[s.table]; exists {
+			return nil, fmt.Errorf("sql: table %s already exists", s.table)
+		}
+		if _, exists := db.views[s.table]; exists {
+			return nil, fmt.Errorf("sql: a view named %s already exists", s.table)
+		}
+		db.tables[s.table] = &Table{Name: s.table, Cols: s.cols}
+		return nil, nil
+	case *createViewStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, exists := db.tables[s.name]; exists {
+			return nil, fmt.Errorf("sql: a table named %s already exists", s.name)
+		}
+		if _, exists := db.views[s.name]; exists {
+			return nil, fmt.Errorf("sql: view %s already exists", s.name)
+		}
+		db.views[s.name] = s.sel
+		return nil, nil
+	case *dropStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if s.view {
+			if _, exists := db.views[s.table]; !exists {
+				if s.ifExists {
+					return nil, nil
+				}
+				return nil, fmt.Errorf("sql: view %s does not exist", s.table)
+			}
+			delete(db.views, s.table)
+			return nil, nil
+		}
+		if _, exists := db.tables[s.table]; !exists {
+			if s.ifExists {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("sql: table %s does not exist", s.table)
+		}
+		delete(db.tables, s.table)
+		return nil, nil
+	case *deleteStmt:
+		return nil, db.evalDelete(s)
+	case *insertValuesStmt:
+		return nil, db.evalInsertValues(s)
+	case *insertSelectStmt:
+		return nil, db.evalInsertSelect(s)
+	case *selectStmt:
+		return db.evalSelect(s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", s)
+	}
+}

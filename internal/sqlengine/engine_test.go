@@ -1,0 +1,375 @@
+package sqlengine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"exlengine/internal/model"
+)
+
+func mustExec(t *testing.T, db *DB, sql string) {
+	t.Helper()
+	if err := db.Exec(sql); err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+}
+
+func mustQuery(t *testing.T, db *DB, sql string) *Table {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return res
+}
+
+func seedGDP(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE PQR (q QUARTER, r VARCHAR, p DOUBLE);
+CREATE TABLE RGDPPC (q QUARTER, r VARCHAR, g DOUBLE);
+INSERT INTO PQR(q, r, p) VALUES
+  ('2001-Q1', 'north', 15), ('2001-Q2', 'north', 35),
+  ('2001-Q1', 'south', 150), ('2001-Q2', 'south', 350);
+INSERT INTO RGDPPC(q, r, g) VALUES
+  ('2001-Q1', 'north', 2), ('2001-Q2', 'north', 4),
+  ('2001-Q1', 'south', 3), ('2001-Q2', 'south', 5);
+`)
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := seedGDP(t)
+	res := mustQuery(t, db, "SELECT q, r, p FROM PQR ORDER BY q, r")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Cols[0].Type.Kind != KPeriod || res.Cols[1].Type.Kind != KVarchar || res.Cols[2].Type.Kind != KDouble {
+		t.Errorf("column types = %v", res.Cols)
+	}
+	if res.Rows[0][0].String() != "2001-Q1" || res.Rows[0][1].String() != "north" {
+		t.Errorf("first row = %v", res.Rows[0])
+	}
+}
+
+// TestPaperJoinQuery runs the exact SQL shape the paper generates for tgd
+// (2): a join on dimensions with a tuple-level measure combination.
+func TestPaperJoinQuery(t *testing.T) {
+	db := seedGDP(t)
+	mustExec(t, db, "CREATE TABLE RGDP (q QUARTER, r VARCHAR, g DOUBLE)")
+	mustExec(t, db, `
+INSERT INTO RGDP(q, r, g)
+SELECT C2.q AS q, C2.r AS r, C1.p * C2.g AS g
+FROM PQR C1, RGDPPC C2
+WHERE C1.q = C2.q AND C1.r = C2.r`)
+	res := mustQuery(t, db, "SELECT g FROM RGDP WHERE q = '2001-Q1' AND r = 'north'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if f, _ := res.Rows[0][0].AsNumber(); f != 30 {
+		t.Errorf("RGDP = %v", f)
+	}
+}
+
+// TestPaperShiftJoin runs the paper's PCHNG query: a self-join with period
+// arithmetic in the join condition.
+func TestPaperShiftJoin(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE GDPT (q QUARTER, g DOUBLE);
+INSERT INTO GDPT(q, g) VALUES ('2001-Q1', 480), ('2001-Q2', 1890), ('2001-Q3', 2000);
+CREATE TABLE PCHNG (q QUARTER, g DOUBLE);
+INSERT INTO PCHNG(q, g)
+SELECT C1.q AS q, (C1.g - C2.g) * 100 / C1.g AS g
+FROM GDPT C1, GDPT C2
+WHERE C2.q = C1.q - 1`)
+	res := mustQuery(t, db, "SELECT q, g FROM PCHNG ORDER BY q")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d: %s", len(res.Rows), res)
+	}
+	want := (1890.0 - 480.0) * 100 / 1890.0
+	if f, _ := res.Rows[0][1].AsNumber(); math.Abs(f-want) > 1e-9 {
+		t.Errorf("PCHNG(2001-Q2) = %v, want %v", f, want)
+	}
+}
+
+func TestGroupByWithDimensionFunction(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE PDR (d DAY, r VARCHAR, p DOUBLE);
+INSERT INTO PDR(d, r, p) VALUES
+  ('2001-03-30', 'north', 10), ('2001-03-31', 'north', 20),
+  ('2001-04-01', 'north', 30), ('2001-04-02', 'north', 40)`)
+	res := mustQuery(t, db, `
+SELECT QUARTER(d) AS q, r, AVG(p) AS p
+FROM PDR
+GROUP BY QUARTER(d), r
+ORDER BY q`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].String() != "2001-Q1" {
+		t.Errorf("q = %v", res.Rows[0][0])
+	}
+	if f, _ := res.Rows[0][2].AsNumber(); f != 15 {
+		t.Errorf("avg Q1 = %v", f)
+	}
+	if f, _ := res.Rows[1][2].AsNumber(); f != 35 {
+		t.Errorf("avg Q2 = %v", f)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE T (k VARCHAR, v DOUBLE);
+INSERT INTO T(k, v) VALUES ('a', 4), ('a', 1), ('a', 3), ('a', 2), ('b', 10)`)
+	res := mustQuery(t, db, `
+SELECT k, SUM(v) s, AVG(v) a, MIN(v) mn, MAX(v) mx, COUNT(*) c, MEDIAN(v) md, STDDEV(v) sd
+FROM T GROUP BY k ORDER BY k`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	get := func(r, c int) float64 {
+		f, _ := res.Rows[r][c].AsNumber()
+		return f
+	}
+	if get(0, 1) != 10 || get(0, 2) != 2.5 || get(0, 3) != 1 || get(0, 4) != 4 || get(0, 5) != 4 || get(0, 6) != 2.5 {
+		t.Errorf("aggregates row a = %v", res.Rows[0])
+	}
+	if math.Abs(get(0, 7)-math.Sqrt(1.25)) > 1e-9 {
+		t.Errorf("stddev = %v", get(0, 7))
+	}
+	if get(1, 5) != 1 {
+		t.Errorf("count b = %v", get(1, 5))
+	}
+}
+
+func TestGlobalAggregateEmptyTable(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (v DOUBLE)")
+	res := mustQuery(t, db, "SELECT SUM(v) FROM T")
+	if len(res.Rows) != 0 {
+		t.Errorf("sum over empty table must give no rows (empty bag), got %d", len(res.Rows))
+	}
+}
+
+func TestTabularFunctions(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE S (t YEAR, v DOUBLE);
+INSERT INTO S(t, v) VALUES ('2000', 1), ('2001', 2), ('2002', 3), ('2003', 4)`)
+	res := mustQuery(t, db, "SELECT t, v FROM CUMSUM(S) ORDER BY t")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if f, _ := res.Rows[3][1].AsNumber(); f != 10 {
+		t.Errorf("cumsum last = %v", f)
+	}
+	res = mustQuery(t, db, "SELECT t, v FROM MOVAVG(S, 2) ORDER BY t")
+	if f, _ := res.Rows[3][1].AsNumber(); f != 3.5 {
+		t.Errorf("movavg last = %v", f)
+	}
+	res = mustQuery(t, db, "SELECT t, v FROM LINTREND(S) ORDER BY t")
+	if f, _ := res.Rows[0][1].AsNumber(); math.Abs(f-1) > 1e-9 {
+		t.Errorf("lintrend first = %v", f)
+	}
+	// stl components reconstruct the series.
+	tr := mustQuery(t, db, "SELECT t, v FROM STL_T(S) ORDER BY t")
+	se := mustQuery(t, db, "SELECT t, v FROM STL_S(S) ORDER BY t")
+	ir := mustQuery(t, db, "SELECT t, v FROM STL_I(S) ORDER BY t")
+	for i := 0; i < 4; i++ {
+		a, _ := tr.Rows[i][1].AsNumber()
+		b, _ := se.Rows[i][1].AsNumber()
+		c, _ := ir.Rows[i][1].AsNumber()
+		if math.Abs(a+b+c-float64(i+1)) > 1e-9 {
+			t.Errorf("stl additivity at %d", i)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE T (k VARCHAR, v DOUBLE);
+INSERT INTO T(k, v) VALUES ('a', 2), ('b', 0), ('c', -1)`)
+	// 1/0 is NULL: its row disappears from the output.
+	res := mustQuery(t, db, "SELECT k, 1 / v FROM T")
+	if len(res.Rows) != 2 {
+		t.Errorf("rows with defined 1/v = %d", len(res.Rows))
+	}
+	// LN of non-positive values is NULL too.
+	res = mustQuery(t, db, "SELECT k, LN(v) FROM T")
+	if len(res.Rows) != 1 {
+		t.Errorf("rows with defined ln = %d", len(res.Rows))
+	}
+	// NULLs are excluded from aggregate bags.
+	res = mustQuery(t, db, "SELECT COUNT(1 / v) FROM T")
+	if f, _ := res.Rows[0][0].AsNumber(); f != 2 {
+		t.Errorf("count non-null = %v", f)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (v DOUBLE); INSERT INTO T(v) VALUES (8)")
+	res := mustQuery(t, db, "SELECT LOG(v, 2), LN(EXP(v)), SQRT(v * 2), ABS(-v), POW(v, 2), ROUND(v / 3) FROM T")
+	want := []float64{3, 8, 4, 8, 64, 3}
+	for i, w := range want {
+		if f, _ := res.Rows[0][i].AsNumber(); math.Abs(f-w) > 1e-9 {
+			t.Errorf("col %d = %v, want %v", i, f, w)
+		}
+	}
+}
+
+func TestShiftFunction(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (q QUARTER, v DOUBLE); INSERT INTO T(q, v) VALUES ('2001-Q1', 1)")
+	res := mustQuery(t, db, "SELECT SHIFT(q, 2), q + 1, q - 1 FROM T")
+	if res.Rows[0][0].String() != "2001-Q3" || res.Rows[0][1].String() != "2001-Q2" || res.Rows[0][2].String() != "2000-Q4" {
+		t.Errorf("shift results = %v", res.Rows[0])
+	}
+}
+
+func TestDeleteAndDrop(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (v DOUBLE); INSERT INTO T(v) VALUES (1), (2), (3)")
+	mustExec(t, db, "DELETE FROM T WHERE v >= 2")
+	tab, _ := db.Table("t")
+	if len(tab.Rows) != 1 {
+		t.Errorf("rows after delete = %d", len(tab.Rows))
+	}
+	mustExec(t, db, "DELETE FROM T")
+	if len(tab.Rows) != 0 {
+		t.Error("delete all")
+	}
+	mustExec(t, db, "DROP TABLE T")
+	if _, ok := db.Table("t"); ok {
+		t.Error("table still exists after drop")
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS T")
+	if err := db.Exec("DROP TABLE T"); err == nil {
+		t.Error("drop of missing table must fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (v DOUBLE)")
+	bad := []string{
+		"CREATE TABLE T (v DOUBLE)",                 // duplicate table
+		"CREATE TABLE U (v BLOB)",                   // unknown type
+		"SELECT v FROM NOPE",                        // unknown table
+		"SELECT nope FROM T",                        // unknown column
+		"SELECT v FROM T WHERE",                     // syntax
+		"INSERT INTO T(nope) VALUES (1)",            // unknown column
+		"INSERT INTO T(v) VALUES (1, 2)",            // arity
+		"SELECT v FROM NOFN(T)",                     // unknown tabular function
+		"INSERT INTO T(v) VALUES ('abc')",           // coercion failure
+		"SELECT SUM(v) + v FROM T WHERE SUM(v) = 1", // aggregate in WHERE
+		"FROB TABLE T",                              // unknown statement
+		"SELECT v FROM T ORDER BY v + 1",            // unsupported order expr
+	}
+	for _, sql := range bad {
+		if err := db.Exec(sql); err == nil {
+			t.Errorf("Exec(%q): want error", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE A (x DOUBLE); CREATE TABLE B (x DOUBLE);
+INSERT INTO A(x) VALUES (1); INSERT INTO B(x) VALUES (2)`)
+	if _, err := db.Query("SELECT x FROM A, B"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("want ambiguity error, got %v", err)
+	}
+	res := mustQuery(t, db, "SELECT A.x, B.x FROM A, B")
+	if len(res.Rows) != 1 {
+		t.Errorf("cross join rows = %d", len(res.Rows))
+	}
+}
+
+func TestCubeBridge(t *testing.T) {
+	sch := model.NewSchema("GDP", []model.Dim{{Name: "q", Type: model.TQuarter}}, "g")
+	c := model.NewCube(sch)
+	_ = c.Put([]model.Value{model.Per(model.NewQuarterly(2001, 1))}, 480)
+	_ = c.Put([]model.Value{model.Per(model.NewQuarterly(2001, 2))}, 1890)
+
+	db := NewDB()
+	if err := db.LoadCube(c); err != nil {
+		t.Fatal(err)
+	}
+	res := mustQuery(t, db, "SELECT q, g FROM GDP ORDER BY q")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	back, err := db.ExtractCube(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(c, model.Eps) {
+		t.Error("round trip through SQL table lost data")
+	}
+}
+
+func TestInsertWithoutColumnList(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (a DOUBLE, b VARCHAR); INSERT INTO T VALUES (1, 'x')")
+	tab, _ := db.Table("t")
+	if len(tab.Rows) != 1 || tab.Rows[0][1].String() != "x" {
+		t.Errorf("rows = %v", tab.Rows)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (s VARCHAR); INSERT INTO T(s) VALUES ('it''s')")
+	res := mustQuery(t, db, "SELECT s FROM T")
+	if res.Rows[0][0].String() != "it's" {
+		t.Errorf("escape = %q", res.Rows[0][0])
+	}
+}
+
+func TestQuotedIdentifiersAndComments(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `-- a comment
+CREATE TABLE "Mixed" ("Col" DOUBLE); -- trailing
+INSERT INTO Mixed(col) VALUES (7)`)
+	res := mustQuery(t, db, `SELECT "Col" FROM "Mixed"`)
+	if f, _ := res.Rows[0][0].AsNumber(); f != 7 {
+		t.Errorf("quoted ident = %v", res.Rows[0][0])
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE B (v DOUBLE); CREATE TABLE A (v DOUBLE)")
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestCountStarVsCountExpr(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (v DOUBLE); INSERT INTO T(v) VALUES (0), (1), (2)")
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM T")
+	if f, _ := res.Rows[0][0].AsNumber(); f != 3 {
+		t.Errorf("count(*) = %v", f)
+	}
+}
+
+func TestQueryRejectsMultipleStatements(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (v DOUBLE)")
+	if _, err := db.Query("SELECT v FROM T; SELECT v FROM T"); err == nil {
+		t.Error("Query with two statements must fail")
+	}
+	if _, err := db.Query("DROP TABLE T"); err == nil {
+		t.Error("Query with non-select must fail")
+	}
+}

@@ -1,0 +1,1030 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+)
+
+// scope resolves column references over a row assembled from one or more
+// from-items laid out side by side.
+type scope struct {
+	aliases []string
+	tables  []*Table
+	offsets []int
+	width   int
+}
+
+func newScope() *scope { return &scope{} }
+
+func (sc *scope) add(alias string, t *Table) {
+	sc.aliases = append(sc.aliases, alias)
+	sc.tables = append(sc.tables, t)
+	sc.offsets = append(sc.offsets, sc.width)
+	sc.width += len(t.Cols)
+}
+
+// resolve returns the row offset and type of a column reference.
+func (sc *scope) resolve(qual, name string) (int, ColType, error) {
+	found := -1
+	var typ ColType
+	for i, a := range sc.aliases {
+		if qual != "" && a != qual {
+			continue
+		}
+		if j := sc.tables[i].ColIndex(name); j >= 0 {
+			if found >= 0 {
+				return 0, ColType{}, fmt.Errorf("sql: ambiguous column %s", name)
+			}
+			found = sc.offsets[i] + j
+			typ = sc.tables[i].Cols[j].Type
+		}
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, ColType{}, fmt.Errorf("sql: unknown column %s.%s", qual, name)
+		}
+		return 0, ColType{}, fmt.Errorf("sql: unknown column %s", name)
+	}
+	return found, typ, nil
+}
+
+// aliasSet returns the set of aliases referenced by an expression.
+func exprAliases(e expr, sc *scope, out map[string]bool) {
+	switch e := e.(type) {
+	case *colRef:
+		if e.qual != "" {
+			out[e.qual] = true
+			return
+		}
+		// Unqualified: attribute to whichever table has the column.
+		for i, t := range sc.tables {
+			if t.ColIndex(e.name) >= 0 {
+				out[sc.aliases[i]] = true
+			}
+		}
+	case *binExpr:
+		exprAliases(e.l, sc, out)
+		exprAliases(e.r, sc, out)
+	case *unaryExpr:
+		exprAliases(e.x, sc, out)
+	case *callExpr:
+		for _, a := range e.args {
+			exprAliases(a, sc, out)
+		}
+	}
+}
+
+func splitAnd(e expr) []expr {
+	if b, ok := e.(*binExpr); ok && b.op == "and" {
+		return append(splitAnd(b.l), splitAnd(b.r)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []expr{e}
+}
+
+// resolveRelation returns the named table, or evaluates the named view on
+// the fly (the paper's relational views for temporary cubes). expanding
+// guards against cyclic view definitions.
+func (db *DB) resolveRelation(name string, expanding map[string]bool) (*Table, error) {
+	if t, ok := db.Table(name); ok {
+		return t, nil
+	}
+	db.mu.RLock()
+	sel, ok := db.views[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %s", name)
+	}
+	if expanding[name] {
+		return nil, fmt.Errorf("sql: cyclic view definition involving %s", name)
+	}
+	expanding[name] = true
+	defer delete(expanding, name)
+	t, err := db.evalSelectExpanding(sel, expanding)
+	if err != nil {
+		return nil, fmt.Errorf("sql: evaluating view %s: %w", name, err)
+	}
+	t.Name = name
+	return t, nil
+}
+
+// resolveFrom materializes the from-items (tables, views and tabular
+// functions).
+func (db *DB) resolveFrom(items []fromItem, expanding map[string]bool) (*scope, error) {
+	sc := newScope()
+	for _, fi := range items {
+		var t *Table
+		if fi.table != "" {
+			tt, err := db.resolveRelation(fi.table, expanding)
+			if err != nil {
+				return nil, err
+			}
+			t = tt
+		} else {
+			db.mu.RLock()
+			fn, ok := db.tabfns[fi.fn]
+			db.mu.RUnlock()
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown tabular function %s", fi.fn)
+			}
+			var args []*Table
+			for _, an := range fi.args {
+				at, err := db.resolveRelation(an, expanding)
+				if err != nil {
+					return nil, fmt.Errorf("sql: argument of %s: %w", fi.fn, err)
+				}
+				args = append(args, at)
+			}
+			tt, err := fn(args, fi.params)
+			if err != nil {
+				return nil, fmt.Errorf("sql: tabular function %s: %w", fi.fn, err)
+			}
+			t = tt
+		}
+		sc.add(fi.alias, t)
+	}
+	return sc, nil
+}
+
+// joinFrom joins the from-items left to right. Equality conjuncts whose
+// sides partition into "already joined aliases" vs "the next item" become
+// hash-join keys (this covers the generated WHERE C1.Q = C2.Q AND … and
+// the shifted G1.Q = G2.Q - 1); everything else is filtered afterwards.
+func (db *DB) joinFrom(s *selectStmt, sc *scope) ([][]model.Value, error) {
+	conjuncts := splitAnd(s.where)
+	used := make([]bool, len(conjuncts))
+
+	rows := make([][]model.Value, 0, len(sc.tables[0].Rows))
+	for _, r := range sc.tables[0].Rows {
+		row := make([]model.Value, sc.width)
+		copy(row, r)
+		rows = append(rows, row)
+	}
+	done := map[string]bool{sc.aliases[0]: true}
+
+	for k := 1; k < len(sc.tables); k++ {
+		alias := sc.aliases[k]
+		var probeExprs, buildExprs []expr
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			b, ok := c.(*binExpr)
+			if !ok || b.op != "=" {
+				continue
+			}
+			la, ra := map[string]bool{}, map[string]bool{}
+			exprAliases(b.l, sc, la)
+			exprAliases(b.r, sc, ra)
+			switch {
+			case subset(la, done) && onlyAlias(ra, alias):
+				probeExprs = append(probeExprs, b.l)
+				buildExprs = append(buildExprs, b.r)
+				used[ci] = true
+			case subset(ra, done) && onlyAlias(la, alias):
+				probeExprs = append(probeExprs, b.r)
+				buildExprs = append(buildExprs, b.l)
+				used[ci] = true
+			}
+		}
+
+		t := sc.tables[k]
+		off := sc.offsets[k]
+		var next [][]model.Value
+		if len(buildExprs) > 0 {
+			// Hash join: index the new table on the build expressions.
+			index := make(map[string][][]model.Value, len(t.Rows))
+			keyBuf := make([]model.Value, len(buildExprs))
+			tmp := make([]model.Value, sc.width)
+			for _, r := range t.Rows {
+				copy(tmp[off:], r)
+				null := false
+				for i, be := range buildExprs {
+					v, err := db.evalExpr(be, sc, tmp)
+					if err != nil {
+						return nil, err
+					}
+					if !v.IsValid() {
+						null = true
+						break
+					}
+					keyBuf[i] = v
+				}
+				if null {
+					continue
+				}
+				key := model.EncodeKey(keyBuf)
+				index[key] = append(index[key], r)
+			}
+			for _, row := range rows {
+				null := false
+				for i, pe := range probeExprs {
+					v, err := db.evalExpr(pe, sc, row)
+					if err != nil {
+						return nil, err
+					}
+					if !v.IsValid() {
+						null = true
+						break
+					}
+					keyBuf[i] = v
+				}
+				if null {
+					continue
+				}
+				for _, r := range index[model.EncodeKey(keyBuf)] {
+					nr := make([]model.Value, sc.width)
+					copy(nr, row)
+					copy(nr[off:], r)
+					next = append(next, nr)
+				}
+			}
+		} else {
+			// No usable equi-condition: nested-loop cross product.
+			for _, row := range rows {
+				for _, r := range t.Rows {
+					nr := make([]model.Value, sc.width)
+					copy(nr, row)
+					copy(nr[off:], r)
+					next = append(next, nr)
+				}
+			}
+		}
+		rows = next
+		done[alias] = true
+	}
+
+	// Residual filter.
+	var filtered [][]model.Value
+	for _, row := range rows {
+		keep := true
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			v, err := db.evalExpr(c, sc, row)
+			if err != nil {
+				return nil, err
+			}
+			b, ok := v.AsBool()
+			if !ok || !b {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			filtered = append(filtered, row)
+		}
+	}
+	return filtered, nil
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func onlyAlias(a map[string]bool, alias string) bool {
+	return len(a) == 1 && a[alias]
+}
+
+func (db *DB) evalSelect(s *selectStmt) (*Table, error) {
+	return db.evalSelectExpanding(s, make(map[string]bool))
+}
+
+func (db *DB) evalSelectExpanding(s *selectStmt, expanding map[string]bool) (*Table, error) {
+	if len(s.from) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
+	}
+	sc, err := db.resolveFrom(s.from, expanding)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.validateSelect(s, sc); err != nil {
+		return nil, err
+	}
+	rows, err := db.joinFrom(s, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Expand SELECT *.
+	var exprs []selectExpr
+	for _, se := range s.exprs {
+		if !se.star {
+			exprs = append(exprs, se)
+			continue
+		}
+		for i, t := range sc.tables {
+			for _, c := range t.Cols {
+				exprs = append(exprs, selectExpr{e: &colRef{qual: sc.aliases[i], name: c.Name}, alias: c.Name})
+			}
+		}
+	}
+
+	out := &Table{}
+	for i, se := range exprs {
+		name := se.alias
+		if name == "" {
+			if cr, ok := se.e.(*colRef); ok {
+				name = cr.name
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		out.Cols = append(out.Cols, Column{Name: name, Type: db.inferType(se.e, sc)})
+	}
+
+	grouping := len(s.groupBy) > 0
+	for _, se := range exprs {
+		if hasAggregate(se.e) {
+			grouping = true
+		}
+	}
+
+	if grouping {
+		if err := db.evalGrouped(s, sc, rows, exprs, out); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range rows {
+			vals := make([]model.Value, len(exprs))
+			null := false
+			for i, se := range exprs {
+				v, err := db.evalExpr(se.e, sc, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsValid() {
+					null = true
+					break
+				}
+				vals[i] = v
+			}
+			if null {
+				continue
+			}
+			out.Rows = append(out.Rows, vals)
+		}
+	}
+
+	if len(s.orderBy) > 0 {
+		if err := db.orderRows(s, sc, out, exprs); err != nil {
+			return nil, err
+		}
+	} else {
+		out.SortRows()
+	}
+	return out, nil
+}
+
+func (db *DB) evalGrouped(s *selectStmt, sc *scope, rows [][]model.Value, exprs []selectExpr, out *Table) error {
+	type group struct {
+		rep  []model.Value // representative row for group-expr evaluation
+		rows [][]model.Value
+	}
+	groups := make(map[string]*group)
+	var order []string
+	keyBuf := make([]model.Value, len(s.groupBy))
+	for _, row := range rows {
+		null := false
+		for i, ge := range s.groupBy {
+			v, err := db.evalExpr(ge, sc, row)
+			if err != nil {
+				return err
+			}
+			if !v.IsValid() {
+				null = true
+				break
+			}
+			keyBuf[i] = v
+		}
+		if null {
+			continue
+		}
+		key := model.EncodeKey(keyBuf)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{rep: row}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// A global aggregate over zero rows yields no row, matching the cube
+	// semantics (the tuple exists only if the bag is non-empty).
+	for _, key := range order {
+		g := groups[key]
+		vals := make([]model.Value, len(exprs))
+		null := false
+		for i, se := range exprs {
+			v, err := db.evalAggExpr(se.e, sc, g.rep, g.rows)
+			if err != nil {
+				return err
+			}
+			if !v.IsValid() {
+				null = true
+				break
+			}
+			vals[i] = v
+		}
+		if null {
+			continue
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	return nil
+}
+
+// evalAggExpr evaluates a select expression in a grouped context:
+// aggregate calls consume the group's rows, everything else is evaluated
+// on the representative row.
+func (db *DB) evalAggExpr(e expr, sc *scope, rep []model.Value, rows [][]model.Value) (model.Value, error) {
+	switch e := e.(type) {
+	case *callExpr:
+		if ops.IsAggregation(e.name) || e.name == "count" {
+			agg, err := ops.NewAggregator(e.name)
+			if err != nil {
+				return model.Value{}, err
+			}
+			n := 0
+			for _, row := range rows {
+				if e.star {
+					agg.Add(0)
+					n++
+					continue
+				}
+				if len(e.args) != 1 {
+					return model.Value{}, fmt.Errorf("sql: aggregate %s takes one argument", e.name)
+				}
+				v, err := db.evalExpr(e.args[0], sc, row)
+				if err != nil {
+					return model.Value{}, err
+				}
+				if !v.IsValid() {
+					continue // nulls are not part of the bag
+				}
+				f, ok := v.AsNumber()
+				if !ok {
+					return model.Value{}, fmt.Errorf("sql: aggregate %s over non-numeric value %v", e.name, v)
+				}
+				agg.Add(f)
+				n++
+			}
+			if n == 0 {
+				return model.Value{}, nil
+			}
+			return model.Num(agg.Result()), nil
+		}
+		// Scalar call over aggregated arguments.
+		args := make([]expr, len(e.args))
+		copy(args, e.args)
+		vals := make([]model.Value, len(args))
+		for i, a := range args {
+			v, err := db.evalAggExpr(a, sc, rep, rows)
+			if err != nil || !v.IsValid() {
+				return v, err
+			}
+			vals[i] = v
+		}
+		return db.applyScalarCall(e.name, vals)
+	case *binExpr:
+		l, err := db.evalAggExpr(e.l, sc, rep, rows)
+		if err != nil || !l.IsValid() {
+			return l, err
+		}
+		r, err := db.evalAggExpr(e.r, sc, rep, rows)
+		if err != nil || !r.IsValid() {
+			return r, err
+		}
+		return applyBinary(e.op, l, r)
+	case *unaryExpr:
+		x, err := db.evalAggExpr(e.x, sc, rep, rows)
+		if err != nil || !x.IsValid() {
+			return x, err
+		}
+		return applyUnary(e.op, x)
+	default:
+		return db.evalExpr(e, sc, rep)
+	}
+}
+
+// validateSelect statically checks column references and aggregate
+// placement, so malformed queries fail even over empty tables.
+func (db *DB) validateSelect(s *selectStmt, sc *scope) error {
+	for _, se := range s.exprs {
+		if se.star {
+			continue
+		}
+		if err := validateExpr(se.e, sc); err != nil {
+			return err
+		}
+	}
+	if s.where != nil {
+		if hasAggregate(s.where) {
+			return fmt.Errorf("sql: aggregates are not allowed in WHERE")
+		}
+		if err := validateExpr(s.where, sc); err != nil {
+			return err
+		}
+	}
+	for _, ge := range s.groupBy {
+		if hasAggregate(ge) {
+			return fmt.Errorf("sql: aggregates are not allowed in GROUP BY")
+		}
+		if err := validateExpr(ge, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateExpr(e expr, sc *scope) error {
+	switch e := e.(type) {
+	case *colRef:
+		_, _, err := sc.resolve(e.qual, e.name)
+		return err
+	case *binExpr:
+		if err := validateExpr(e.l, sc); err != nil {
+			return err
+		}
+		return validateExpr(e.r, sc)
+	case *unaryExpr:
+		return validateExpr(e.x, sc)
+	case *callExpr:
+		for _, a := range e.args {
+			if err := validateExpr(a, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func hasAggregate(e expr) bool {
+	switch e := e.(type) {
+	case *callExpr:
+		if ops.IsAggregation(e.name) || e.name == "count" {
+			return true
+		}
+		for _, a := range e.args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case *binExpr:
+		return hasAggregate(e.l) || hasAggregate(e.r)
+	case *unaryExpr:
+		return hasAggregate(e.x)
+	}
+	return false
+}
+
+func (db *DB) orderRows(s *selectStmt, sc *scope, out *Table, exprs []selectExpr) error {
+	// ORDER BY expressions must reference output columns by name.
+	idx := make([]int, len(s.orderBy))
+	for i, oe := range s.orderBy {
+		cr, ok := oe.(*colRef)
+		if !ok {
+			return fmt.Errorf("sql: ORDER BY supports output column names only")
+		}
+		j := out.ColIndex(cr.name)
+		if j < 0 {
+			return fmt.Errorf("sql: ORDER BY column %s not in output", cr.name)
+		}
+		idx[i] = j
+	}
+	sort.SliceStable(out.Rows, func(a, b int) bool {
+		for _, j := range idx {
+			if c := out.Rows[a][j].Compare(out.Rows[b][j]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// evalExpr evaluates a scalar expression over a row. An invalid Value with
+// nil error is SQL NULL: it arises from undefined operator points and
+// propagates upward; rows with NULL outputs are dropped, matching the cube
+// semantics of partial functions.
+func (db *DB) evalExpr(e expr, sc *scope, row []model.Value) (model.Value, error) {
+	switch e := e.(type) {
+	case *lit:
+		return e.v, nil
+	case *colRef:
+		off, _, err := sc.resolve(e.qual, e.name)
+		if err != nil {
+			return model.Value{}, err
+		}
+		return row[off], nil
+	case *unaryExpr:
+		x, err := db.evalExpr(e.x, sc, row)
+		if err != nil || !x.IsValid() {
+			return x, err
+		}
+		return applyUnary(e.op, x)
+	case *binExpr:
+		l, err := db.evalExpr(e.l, sc, row)
+		if err != nil || !l.IsValid() {
+			return l, err
+		}
+		r, err := db.evalExpr(e.r, sc, row)
+		if err != nil || !r.IsValid() {
+			return r, err
+		}
+		return applyBinary(e.op, l, r)
+	case *callExpr:
+		if ops.IsAggregation(e.name) || e.name == "count" {
+			return model.Value{}, fmt.Errorf("sql: aggregate %s outside grouped context", e.name)
+		}
+		vals := make([]model.Value, len(e.args))
+		for i, a := range e.args {
+			v, err := db.evalExpr(a, sc, row)
+			if err != nil || !v.IsValid() {
+				return v, err
+			}
+			vals[i] = v
+		}
+		return db.applyScalarCall(e.name, vals)
+	default:
+		return model.Value{}, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+func (db *DB) applyScalarCall(name string, vals []model.Value) (model.Value, error) {
+	// Period functions.
+	switch name {
+	case "quarter", "month", "year":
+		if len(vals) != 1 {
+			return model.Value{}, fmt.Errorf("sql: %s takes one argument", name)
+		}
+		f, err := ops.Dimension(name)
+		if err != nil {
+			return model.Value{}, err
+		}
+		v, err := f.Apply(vals[0])
+		if err != nil {
+			return model.Value{}, err
+		}
+		return v, nil
+	case "shift":
+		if len(vals) != 2 {
+			return model.Value{}, fmt.Errorf("sql: shift takes (period, steps)")
+		}
+		n, ok := vals[1].AsInt()
+		if !ok {
+			return model.Value{}, fmt.Errorf("sql: shift steps must be an integer")
+		}
+		return ops.ShiftValue(vals[0], n)
+	}
+	// Numeric scalar functions from the operator library.
+	f, err := ops.Scalar(name)
+	if err != nil {
+		return model.Value{}, fmt.Errorf("sql: unknown function %s", name)
+	}
+	args := make([]float64, len(vals))
+	for i, v := range vals {
+		x, ok := v.AsNumber()
+		if !ok {
+			return model.Value{}, fmt.Errorf("sql: %s over non-numeric value %v", name, v)
+		}
+		args[i] = x
+	}
+	out, err := f(args...)
+	if err != nil {
+		if ops.ErrUndefined(err) {
+			return model.Value{}, nil // NULL
+		}
+		return model.Value{}, err
+	}
+	return model.Num(out), nil
+}
+
+func applyUnary(op string, x model.Value) (model.Value, error) {
+	switch op {
+	case "-":
+		f, ok := x.AsNumber()
+		if !ok {
+			return model.Value{}, fmt.Errorf("sql: unary minus over non-numeric %v", x)
+		}
+		return model.Num(-f), nil
+	case "not":
+		b, ok := x.AsBool()
+		if !ok {
+			return model.Value{}, fmt.Errorf("sql: NOT over non-boolean %v", x)
+		}
+		return model.Bool(!b), nil
+	default:
+		return model.Value{}, fmt.Errorf("sql: unknown unary operator %s", op)
+	}
+}
+
+func applyBinary(op string, l, r model.Value) (model.Value, error) {
+	switch op {
+	case "and", "or":
+		lb, ok1 := l.AsBool()
+		rb, ok2 := r.AsBool()
+		if !ok1 || !ok2 {
+			return model.Value{}, fmt.Errorf("sql: boolean operator over non-booleans")
+		}
+		if op == "and" {
+			return model.Bool(lb && rb), nil
+		}
+		return model.Bool(lb || rb), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		l, r = coercePair(l, r)
+		c := l.Compare(r)
+		eq := l.Equal(r)
+		var res bool
+		switch op {
+		case "=":
+			res = eq
+		case "<>":
+			res = !eq
+		case "<":
+			res = c < 0
+		case "<=":
+			res = c <= 0
+		case ">":
+			res = c > 0
+		case ">=":
+			res = c >= 0
+		}
+		return model.Bool(res), nil
+	case "+", "-":
+		// Period arithmetic: Q - 1 shifts a period, as in the paper's
+		// generated join condition G1.Q = G2.Q - 1.
+		if p, ok := l.AsPeriod(); ok {
+			n, ok := r.AsInt()
+			if !ok {
+				return model.Value{}, fmt.Errorf("sql: period arithmetic needs an integer offset")
+			}
+			if op == "-" {
+				n = -n
+			}
+			return model.Per(p.Shift(n)), nil
+		}
+		fallthrough
+	case "*", "/":
+		lf, ok1 := l.AsNumber()
+		rf, ok2 := r.AsNumber()
+		if !ok1 || !ok2 {
+			return model.Value{}, fmt.Errorf("sql: arithmetic over non-numeric values %v, %v", l, r)
+		}
+		var name string
+		switch op {
+		case "+":
+			name = "add"
+		case "-":
+			name = "sub"
+		case "*":
+			name = "mul"
+		case "/":
+			name = "div"
+		}
+		f, _ := ops.Scalar(name)
+		out, err := f(lf, rf)
+		if err != nil {
+			if ops.ErrUndefined(err) {
+				return model.Value{}, nil // NULL
+			}
+			return model.Value{}, err
+		}
+		return model.Num(out), nil
+	default:
+		return model.Value{}, fmt.Errorf("sql: unknown binary operator %s", op)
+	}
+}
+
+// coercePair aligns a string literal with a period operand so that
+// comparisons like q = '2001-Q1' work.
+func coercePair(l, r model.Value) (model.Value, model.Value) {
+	if _, ok := l.AsPeriod(); ok {
+		if s, isStr := r.AsString(); isStr {
+			if p, err := model.ParsePeriod(s); err == nil {
+				return l, model.Per(p)
+			}
+		}
+	}
+	if _, ok := r.AsPeriod(); ok {
+		if s, isStr := l.AsString(); isStr {
+			if p, err := model.ParsePeriod(s); err == nil {
+				return model.Per(p), r
+			}
+		}
+	}
+	return l, r
+}
+
+func (db *DB) inferType(e expr, sc *scope) ColType {
+	switch e := e.(type) {
+	case *lit:
+		switch e.v.Kind() {
+		case model.KindString:
+			return ColType{Kind: KVarchar}
+		case model.KindInt:
+			return ColType{Kind: KInteger}
+		default:
+			return ColType{Kind: KDouble}
+		}
+	case *colRef:
+		if _, t, err := sc.resolve(e.qual, e.name); err == nil {
+			return t
+		}
+		return ColType{Kind: KDouble}
+	case *binExpr:
+		lt := db.inferType(e.l, sc)
+		if lt.Kind == KPeriod && (e.op == "+" || e.op == "-") {
+			return lt
+		}
+		return ColType{Kind: KDouble}
+	case *callExpr:
+		switch e.name {
+		case "quarter":
+			return ColType{Kind: KPeriod, Freq: model.Quarterly}
+		case "month":
+			return ColType{Kind: KPeriod, Freq: model.Monthly}
+		case "year":
+			return ColType{Kind: KPeriod, Freq: model.Annual}
+		case "shift":
+			if len(e.args) > 0 {
+				return db.inferType(e.args[0], sc)
+			}
+		}
+		return ColType{Kind: KDouble}
+	default:
+		return ColType{Kind: KDouble}
+	}
+}
+
+func (db *DB) evalInsertValues(s *insertValuesStmt) error {
+	t, ok := db.Table(s.table)
+	if !ok {
+		return fmt.Errorf("sql: unknown table %s", s.table)
+	}
+	perm, err := insertPermutation(t, s.cols)
+	if err != nil {
+		return err
+	}
+	sc := newScope()
+	for _, rowExprs := range s.rows {
+		if len(rowExprs) != len(perm) {
+			return fmt.Errorf("sql: INSERT row has %d values, want %d", len(rowExprs), len(perm))
+		}
+		row := make([]model.Value, len(t.Cols))
+		for i, e := range rowExprs {
+			v, err := db.evalExpr(e, sc, nil)
+			if err != nil {
+				return err
+			}
+			cv, err := coerceToColumn(v, t.Cols[perm[i]].Type)
+			if err != nil {
+				return fmt.Errorf("sql: column %s: %w", t.Cols[perm[i]].Name, err)
+			}
+			row[perm[i]] = cv
+		}
+		db.mu.Lock()
+		t.Rows = append(t.Rows, row)
+		db.mu.Unlock()
+	}
+	return nil
+}
+
+func (db *DB) evalInsertSelect(s *insertSelectStmt) error {
+	t, ok := db.Table(s.table)
+	if !ok {
+		return fmt.Errorf("sql: unknown table %s", s.table)
+	}
+	perm, err := insertPermutation(t, s.cols)
+	if err != nil {
+		return err
+	}
+	res, err := db.evalSelect(s.sel)
+	if err != nil {
+		return err
+	}
+	if len(res.Cols) != len(perm) {
+		return fmt.Errorf("sql: INSERT SELECT arity mismatch: %d vs %d", len(res.Cols), len(perm))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range res.Rows {
+		row := make([]model.Value, len(t.Cols))
+		for i, v := range r {
+			cv, err := coerceToColumn(v, t.Cols[perm[i]].Type)
+			if err != nil {
+				return fmt.Errorf("sql: column %s: %w", t.Cols[perm[i]].Name, err)
+			}
+			row[perm[i]] = cv
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return nil
+}
+
+func (db *DB) evalDelete(s *deleteStmt) error {
+	t, ok := db.Table(s.table)
+	if !ok {
+		return fmt.Errorf("sql: unknown table %s", s.table)
+	}
+	if s.where == nil {
+		db.mu.Lock()
+		t.Rows = nil
+		db.mu.Unlock()
+		return nil
+	}
+	sc := newScope()
+	sc.add(t.Name, t)
+	var kept [][]model.Value
+	for _, row := range t.Rows {
+		v, err := db.evalExpr(s.where, sc, row)
+		if err != nil {
+			return err
+		}
+		if b, ok := v.AsBool(); ok && b {
+			continue
+		}
+		kept = append(kept, row)
+	}
+	db.mu.Lock()
+	t.Rows = kept
+	db.mu.Unlock()
+	return nil
+}
+
+func insertPermutation(t *Table, cols []string) ([]int, error) {
+	if len(cols) == 0 {
+		perm := make([]int, len(t.Cols))
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm, nil
+	}
+	perm := make([]int, len(cols))
+	for i, c := range cols {
+		j := t.ColIndex(strings.ToLower(c))
+		if j < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %s", t.Name, c)
+		}
+		perm[i] = j
+	}
+	return perm, nil
+}
+
+// coerceToColumn converts an inserted value to the column type.
+func coerceToColumn(v model.Value, t ColType) (model.Value, error) {
+	if !v.IsValid() {
+		return model.Value{}, fmt.Errorf("cannot insert NULL")
+	}
+	switch t.Kind {
+	case KDouble:
+		f, ok := v.AsNumber()
+		if !ok {
+			return model.Value{}, fmt.Errorf("cannot coerce %v to DOUBLE", v)
+		}
+		return model.Num(f), nil
+	case KInteger:
+		i, ok := v.AsInt()
+		if !ok {
+			return model.Value{}, fmt.Errorf("cannot coerce %v to INTEGER", v)
+		}
+		return model.Int(i), nil
+	case KVarchar:
+		if s, ok := v.AsString(); ok {
+			return model.Str(s), nil
+		}
+		return model.Str(v.String()), nil
+	case KPeriod:
+		if p, ok := v.AsPeriod(); ok {
+			if t.Freq != model.FreqInvalid && p.Freq != t.Freq {
+				return model.Value{}, fmt.Errorf("period %v has frequency %s, column wants %s", v, p.Freq, t.Freq)
+			}
+			return v, nil
+		}
+		if s, ok := v.AsString(); ok {
+			p, err := model.ParsePeriod(s)
+			if err != nil {
+				return model.Value{}, err
+			}
+			if t.Freq != model.FreqInvalid && p.Freq != t.Freq {
+				return model.Value{}, fmt.Errorf("period %q has frequency %s, column wants %s", s, p.Freq, t.Freq)
+			}
+			return model.Per(p), nil
+		}
+		return model.Value{}, fmt.Errorf("cannot coerce %v to %s", v, t)
+	default:
+		return model.Value{}, fmt.Errorf("unknown column type")
+	}
+}

@@ -1,0 +1,179 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+)
+
+// registerStandardTabularFuncs installs the black-box operators as tabular
+// functions, the "statistical add-ons" of Section 5.1: each takes a table
+// with one period column and one numeric column (a time series under the
+// established naming conventions) and returns a table of the same shape.
+func registerStandardTabularFuncs(db *DB) {
+	for _, name := range []string{"stl_t", "stl_s", "stl_i", "movavg", "cumsum", "lintrend"} {
+		fn := name
+		db.RegisterTabular(fn, func(args []*Table, params []float64) (*Table, error) {
+			return seriesTabular(fn, args, params)
+		})
+	}
+}
+
+func seriesTabular(opName string, args []*Table, params []float64) (*Table, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%s takes exactly one table argument", opName)
+	}
+	in := args[0]
+	pCol, vCol := -1, -1
+	for i, c := range in.Cols {
+		switch c.Type.Kind {
+		case KPeriod:
+			if pCol >= 0 {
+				return nil, fmt.Errorf("%s needs a single period column, table %s has several", opName, in.Name)
+			}
+			pCol = i
+		case KDouble, KInteger:
+			if vCol < 0 {
+				vCol = i
+			}
+		}
+	}
+	if pCol < 0 || vCol < 0 {
+		return nil, fmt.Errorf("%s needs a (period, numeric) table, got %s", opName, in.Name)
+	}
+
+	type point struct {
+		p model.Period
+		v float64
+	}
+	pts := make([]point, 0, len(in.Rows))
+	for _, r := range in.Rows {
+		p, ok := r[pCol].AsPeriod()
+		if !ok {
+			return nil, fmt.Errorf("%s: non-period value %v in column %s", opName, r[pCol], in.Cols[pCol].Name)
+		}
+		v, ok := r[vCol].AsNumber()
+		if !ok {
+			return nil, fmt.Errorf("%s: non-numeric value %v in column %s", opName, r[vCol], in.Cols[vCol].Name)
+		}
+		pts = append(pts, point{p: p, v: v})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].p.Compare(pts[j].p) < 0 })
+
+	vals := make([]float64, len(pts))
+	for i, pt := range pts {
+		vals[i] = pt.v
+	}
+	f, err := ops.Series(opName)
+	if err != nil {
+		return nil, err
+	}
+	seasonLen := 1
+	if len(pts) > 0 {
+		seasonLen = ops.SeasonLength(pts[0].p.Freq)
+	}
+	res, err := f(vals, seasonLen, params)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Table{
+		Name: opName,
+		Cols: []Column{in.Cols[pCol], in.Cols[vCol]},
+	}
+	for i, pt := range pts {
+		out.Rows = append(out.Rows, []model.Value{model.Per(pt.p), model.Num(res[i])})
+	}
+	return out, nil
+}
+
+// ColumnForDim maps a cube dimension type to a SQL column type.
+func ColumnForDim(t model.DimType) ColType {
+	switch t.Kind {
+	case model.DimString:
+		return ColType{Kind: KVarchar}
+	case model.DimInt:
+		return ColType{Kind: KInteger}
+	case model.DimPeriod:
+		return ColType{Kind: KPeriod, Freq: t.Freq}
+	default:
+		return ColType{Kind: KVarchar}
+	}
+}
+
+// CreateTableFor creates an empty table matching a cube schema: one column
+// per dimension plus the measure as DOUBLE. Column names are lowercased
+// dimension/measure names.
+func (db *DB) CreateTableFor(sch model.Schema) error {
+	cols := make([]Column, 0, len(sch.Dims)+1)
+	for _, d := range sch.Dims {
+		cols = append(cols, Column{Name: lower(d.Name), Type: ColumnForDim(d.Type)})
+	}
+	cols = append(cols, Column{Name: lower(sch.Measure), Type: ColType{Kind: KDouble}})
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := lower(sch.Name)
+	if _, exists := db.tables[name]; exists {
+		return fmt.Errorf("sql: table %s already exists", name)
+	}
+	db.tables[name] = &Table{Name: name, Cols: cols}
+	return nil
+}
+
+// LoadCube bulk-loads a cube instance into the matching table (created if
+// absent).
+func (db *DB) LoadCube(c *model.Cube) error {
+	name := lower(c.Schema().Name)
+	t, ok := db.Table(name)
+	if !ok {
+		if err := db.CreateTableFor(c.Schema()); err != nil {
+			return err
+		}
+		t, _ = db.Table(name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, tu := range c.Tuples() {
+		row := make([]model.Value, 0, len(tu.Dims)+1)
+		row = append(row, tu.Dims...)
+		row = append(row, model.Num(tu.Measure))
+		t.Rows = append(t.Rows, row)
+	}
+	return nil
+}
+
+// ExtractCube reads a table back into a cube with the given schema. The
+// table columns must be the dimensions (in order) followed by the measure,
+// which is how CreateTableFor lays tables out.
+func (db *DB) ExtractCube(sch model.Schema) (*model.Cube, error) {
+	t, ok := db.Table(lower(sch.Name))
+	if !ok {
+		return nil, fmt.Errorf("sql: no table for cube %s", sch.Name)
+	}
+	if len(t.Cols) != len(sch.Dims)+1 {
+		return nil, fmt.Errorf("sql: table %s has %d columns, cube %s wants %d", t.Name, len(t.Cols), sch.Name, len(sch.Dims)+1)
+	}
+	c := model.NewCube(sch)
+	for _, r := range t.Rows {
+		m, ok := r[len(r)-1].AsNumber()
+		if !ok {
+			return nil, fmt.Errorf("sql: non-numeric measure %v in table %s", r[len(r)-1], t.Name)
+		}
+		if err := c.Put(r[:len(r)-1], m); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,113 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"exlengine/internal/chase"
+	"exlengine/internal/exl"
+	"exlengine/internal/mapping"
+	"exlengine/internal/sqlengine"
+	"exlengine/internal/workload"
+)
+
+func compileNormalized(t *testing.T, src string) *mapping.Mapping {
+	t.Helper()
+	prog, err := exl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := exl.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.GenerateNormalized(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAuxAsViews renders a normalized mapping with auxiliary relations as
+// views and verifies the execution still matches the chase: the Section 6
+// "temporary cubes as relational views" variant.
+func TestAuxAsViews(t *testing.T) {
+	m := compileNormalized(t, workload.GDPProgram)
+	if len(m.AuxRelations()) == 0 {
+		t.Fatal("normalized GDP mapping should have auxiliaries")
+	}
+	script, err := TranslateWith(m, Options{AuxAsViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := script.String()
+	if !strings.Contains(text, "CREATE VIEW _PCHNG_") {
+		t.Errorf("no view DDL for auxiliaries:\n%s", text)
+	}
+	// No CREATE TABLE for auxiliaries.
+	for _, aux := range m.AuxRelations() {
+		if strings.Contains(text, "CREATE TABLE "+aux+" ") {
+			t.Errorf("aux %s still materialized:\n%s", aux, text)
+		}
+	}
+
+	data := workload.GDPSource(workload.GDPConfig{Days: 200, Regions: 2})
+	ref, err := chase.New(m).Solve(chase.Instance(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqlengine.NewDB()
+	for _, name := range m.Elementary {
+		if err := db.LoadCube(data[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Execute(script, db); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range m.Derived {
+		got, err := db.ExtractCube(m.Schemas[rel])
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		if !got.Equal(ref[rel], 1e-6) {
+			t.Errorf("%s differs under view-based translation", rel)
+		}
+	}
+	// The auxiliary relations exist as views, not tables.
+	if _, ok := db.Table("_pchng_1"); ok {
+		t.Error("auxiliary was materialized as a table")
+	}
+}
+
+// TestAuxViewsBlackBoxOperand: a black-box operand defined as a view flows
+// through the tabular function.
+func TestAuxViewsBlackBoxOperand(t *testing.T) {
+	m := compileNormalized(t, "cube A(t: year) measure v\nB := stl_t(A * 2)")
+	script, err := TranslateWith(m, Options{AuxAsViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(script.String(), "CREATE VIEW _B_1") {
+		t.Fatalf("operand not a view:\n%s", script)
+	}
+	data := workload.Data{"A": workload.Series(workload.SeriesConfig{Name: "A", Freq: 4, N: 12, Level: 10, Trend: 1})}
+	ref, err := chase.New(m).Solve(chase.Instance(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqlengine.NewDB()
+	if err := db.LoadCube(data["A"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := Execute(script, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.ExtractCube(m.Schemas["B"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref["B"], 1e-9) {
+		t.Error("view-fed black box differs from chase")
+	}
+}

@@ -1,0 +1,216 @@
+// Package store implements the cube repository shared by the target
+// engines, including the historicity feature of Section 6: cubes and
+// programs are time-dependent, so every write is a new version stamped
+// with its validity instant, and reads can be current or as-of a past
+// instant. A CSV import/export layer feeds elementary cubes into the
+// system and delivers results out of it.
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"exlengine/internal/model"
+)
+
+// Store is a versioned, concurrency-safe cube repository.
+type Store struct {
+	mu      sync.RWMutex
+	cubes   map[string][]version
+	schemas map[string]model.Schema
+}
+
+type version struct {
+	asOf time.Time
+	cube *model.Cube
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		cubes:   make(map[string][]version),
+		schemas: make(map[string]model.Schema),
+	}
+}
+
+// Declare registers a cube schema. Re-declaring with identical dimensions
+// is a no-op; changing the dimensionality of an existing cube is an error.
+func (s *Store) Declare(sch model.Schema) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.schemas[sch.Name]; ok {
+		if !old.SameDims(sch) {
+			return fmt.Errorf("store: cube %s already declared with different dimensions (%s vs %s)", sch.Name, old, sch)
+		}
+		return nil
+	}
+	s.schemas[sch.Name] = sch
+	return nil
+}
+
+// Schema returns the declared schema of a cube.
+func (s *Store) Schema(name string) (model.Schema, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sch, ok := s.schemas[name]
+	return sch, ok
+}
+
+// Names returns the declared cube names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.schemas))
+	for n := range s.schemas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Put stores a new version of the cube, valid from asOf. The cube's
+// schema is declared implicitly on first write. Versions must be written
+// in non-decreasing asOf order per cube.
+func (s *Store) Put(c *model.Cube, asOf time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := c.Schema().Name
+	if old, ok := s.schemas[name]; ok {
+		if !old.SameDims(c.Schema()) {
+			return fmt.Errorf("store: cube %s dimensionality changed", name)
+		}
+	} else {
+		s.schemas[name] = c.Schema()
+	}
+	vs := s.cubes[name]
+	if n := len(vs); n > 0 && vs[n-1].asOf.After(asOf) {
+		return fmt.Errorf("store: version for %s at %v is older than the latest (%v)", name, asOf, vs[n-1].asOf)
+	}
+	s.cubes[name] = append(vs, version{asOf: asOf, cube: c.Clone()})
+	return nil
+}
+
+// Get returns the current (latest) version of the cube.
+func (s *Store) Get(name string) (*model.Cube, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.cubes[name]
+	if len(vs) == 0 {
+		return nil, false
+	}
+	return vs[len(vs)-1].cube.Clone(), true
+}
+
+// GetAsOf returns the version of the cube valid at instant t (the newest
+// version with asOf <= t).
+func (s *Store) GetAsOf(name string, t time.Time) (*model.Cube, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.cubes[name]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].asOf.After(t) })
+	if i == 0 {
+		return nil, false
+	}
+	return vs[i-1].cube.Clone(), true
+}
+
+// Versions returns the validity instants of the cube's versions, oldest
+// first.
+func (s *Store) Versions(name string) []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.cubes[name]
+	out := make([]time.Time, len(vs))
+	for i, v := range vs {
+		out[i] = v.asOf
+	}
+	return out
+}
+
+// Snapshot returns the current version of every stored cube, keyed by
+// name — the source instance handed to the execution engines.
+func (s *Store) Snapshot() map[string]*model.Cube {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]*model.Cube, len(s.cubes))
+	for name, vs := range s.cubes {
+		if len(vs) > 0 {
+			out[name] = vs[len(vs)-1].cube.Clone()
+		}
+	}
+	return out
+}
+
+// WriteCSV exports a cube: a header of dimension names plus the measure,
+// then one row per tuple in deterministic order.
+func WriteCSV(w io.Writer, c *model.Cube) error {
+	cw := csv.NewWriter(w)
+	sch := c.Schema()
+	header := append(append([]string(nil), sch.DimNames()...), sch.Measure)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, tu := range c.Tuples() {
+		rec := make([]string, 0, len(header))
+		for _, d := range tu.Dims {
+			rec = append(rec, d.String())
+		}
+		rec = append(rec, strconv.FormatFloat(tu.Measure, 'g', -1, 64))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV imports a cube under the given schema. The header must name the
+// schema's dimensions (in order) followed by the measure.
+func ReadCSV(r io.Reader, sch model.Schema) (*model.Cube, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("store: reading CSV header: %w", err)
+	}
+	want := append(append([]string(nil), sch.DimNames()...), sch.Measure)
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("store: CSV header %v does not match schema %s", header, sch)
+	}
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("store: CSV column %d is %q, want %q", i, h, want[i])
+		}
+	}
+	c := model.NewCube(sch)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return c, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: reading CSV: %w", err)
+		}
+		line++
+		dims := make([]model.Value, len(sch.Dims))
+		for i, d := range sch.Dims {
+			v, err := model.ParseValue(rec[i], d.Type)
+			if err != nil {
+				return nil, fmt.Errorf("store: CSV line %d, column %s: %w", line, d.Name, err)
+			}
+			dims[i] = v
+		}
+		mv, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: CSV line %d: bad measure %q", line, rec[len(rec)-1])
+		}
+		if err := c.Put(dims, mv); err != nil {
+			return nil, fmt.Errorf("store: CSV line %d: %w", line, err)
+		}
+	}
+}

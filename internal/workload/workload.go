@@ -1,0 +1,233 @@
+// Package workload generates deterministic synthetic cube data shaped like
+// the paper's running example and the scaling sweeps of the benchmark
+// harness. The Bank of Italy's production data is proprietary; these
+// generators produce inputs with the same structure (populations by day and
+// region, GDP per capita by quarter and region, price panels, banking
+// panels) so every operator and translation path is exercised end to end.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"exlengine/internal/model"
+)
+
+// Data maps cube names to instances; it is assignable to the instance
+// types of the execution engines.
+type Data = map[string]*model.Cube
+
+// GDPProgram is the paper's Section 2 example in EXL concrete syntax:
+// quarterly average population, regional GDP, national GDP, trend via
+// seasonal decomposition, and percentage change of the trend.
+const GDPProgram = `
+cube PDR(d: day, r: string) measure p
+cube RGDPPC(q: quarter, r: string) measure g
+
+PQR    := avg(PDR, group by quarter(d) as q, r)
+RGDP   := RGDPPC * PQR
+GDP    := sum(RGDP, group by q)
+GDPT   := stl_t(GDP)
+PCHNG  := (GDPT - shift(GDPT, 1)) * 100 / GDPT
+`
+
+// GDPConfig parameterizes the GDP workload generator.
+type GDPConfig struct {
+	Days      int   // number of daily observations per region
+	Regions   int   // number of regions
+	StartYear int   // first calendar year (defaults to 2000)
+	Seed      int64 // PRNG seed (defaults to 1)
+}
+
+func (c GDPConfig) withDefaults() GDPConfig {
+	if c.StartYear == 0 {
+		c.StartYear = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RegionName returns the synthetic name of region i ("R00", "R01", …).
+func RegionName(i int) string { return fmt.Sprintf("R%02d", i) }
+
+// GDPSource builds the elementary cubes of the GDP program: PDR(d, r) with
+// Days×Regions daily population observations (slow growth plus weekly
+// seasonality plus noise) and RGDPPC(q, r) with per-capita GDP for every
+// quarter covered by the daily range (trend plus quarterly seasonality).
+func GDPSource(cfg GDPConfig) Data {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pdr := model.NewCube(model.NewSchema("PDR",
+		[]model.Dim{{Name: "d", Type: model.TDay}, {Name: "r", Type: model.TString}}, "p"))
+	rgdppc := model.NewCube(model.NewSchema("RGDPPC",
+		[]model.Dim{{Name: "q", Type: model.TQuarter}, {Name: "r", Type: model.TString}}, "g"))
+
+	start := model.NewDaily(cfg.StartYear, time.January, 1)
+	startQ, _ := start.Convert(model.Quarterly)
+	endQ, _ := start.Shift(int64(cfg.Days - 1)).Convert(model.Quarterly)
+	for r := 0; r < cfg.Regions; r++ {
+		region := model.Str(RegionName(r))
+		base := 1e6 * float64(1+r%7)
+		for i := 0; i < cfg.Days; i++ {
+			day := start.Shift(int64(i))
+			pop := base * (1 + 0.0001*float64(i)) * (1 + 0.01*math.Sin(2*math.Pi*float64(i)/7))
+			pop += rng.NormFloat64() * base * 0.001
+			if err := pdr.Put([]model.Value{model.Per(day), region}, pop); err != nil {
+				panic(err)
+			}
+		}
+		for q := startQ; q.Ord <= endQ.Ord; q = q.Shift(1) {
+			idx := float64(q.Ord - startQ.Ord)
+			gpc := 20000*(1+0.05*float64(r%5)) + 100*math.Sin(float64(q.Ord)) + 10*idx + rng.NormFloat64()*50
+			if err := rgdppc.Put([]model.Value{model.Per(q), region}, gpc); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return Data{"PDR": pdr, "RGDPPC": rgdppc}
+}
+
+// SeriesConfig parameterizes a single synthetic time series.
+type SeriesConfig struct {
+	Name  string
+	Freq  model.Frequency
+	N     int
+	Start int // start year
+	Seed  int64
+	// Level, Trend, SeasonAmp, NoiseAmp shape the generated values:
+	// Level + Trend·i + SeasonAmp·sin(2πi/season) + noise.
+	Level, Trend, SeasonAmp, NoiseAmp float64
+}
+
+// Series builds a synthetic time series cube with one time dimension named
+// "t" and measure "v".
+func Series(cfg SeriesConfig) *model.Cube {
+	if cfg.Start == 0 {
+		cfg.Start = 2000
+	}
+	if cfg.Level == 0 {
+		cfg.Level = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	sch := model.NewSchema(cfg.Name,
+		[]model.Dim{{Name: "t", Type: model.DimType{Kind: model.DimPeriod, Freq: cfg.Freq}}}, "v")
+	c := model.NewCube(sch)
+	var start model.Period
+	switch cfg.Freq {
+	case model.Daily:
+		start = model.NewDaily(cfg.Start, time.January, 1)
+	case model.Monthly:
+		start = model.NewMonthly(cfg.Start, time.January)
+	case model.Quarterly:
+		start = model.NewQuarterly(cfg.Start, 1)
+	default:
+		start = model.NewAnnual(cfg.Start)
+	}
+	season := 4.0
+	switch cfg.Freq {
+	case model.Monthly:
+		season = 12
+	case model.Daily:
+		season = 7
+	}
+	for i := 0; i < cfg.N; i++ {
+		v := cfg.Level + cfg.Trend*float64(i) +
+			cfg.SeasonAmp*math.Sin(2*math.Pi*float64(i)/season) +
+			cfg.NoiseAmp*rng.NormFloat64()
+		if err := c.Put([]model.Value{model.Per(start.Shift(int64(i)))}, v); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// InflationProgram computes a CPI from item prices and basket weights:
+// weighted item prices by month, the index, a yearly average and the
+// year-over-year percentage change.
+const InflationProgram = `
+cube PRICE(m: month, i: string) measure p
+cube WEIGHT(i: string) measure w
+
+WP     := PRICE * WEIGHT
+CPI    := sum(WP, group by m)
+CPIY   := avg(CPI, group by year(m) as y)
+INFL   := (CPI - shift(CPI, 12)) * 100 / shift(CPI, 12)
+`
+
+// InflationSource builds PRICE (items × months, trending with seasonal
+// swings) and WEIGHT (normalized basket weights).
+func InflationSource(items, months int, seed int64) Data {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	price := model.NewCube(model.NewSchema("PRICE",
+		[]model.Dim{{Name: "m", Type: model.TMonth}, {Name: "i", Type: model.TString}}, "p"))
+	weight := model.NewCube(model.NewSchema("WEIGHT",
+		[]model.Dim{{Name: "i", Type: model.TString}}, "w"))
+	start := model.NewMonthly(2010, time.January)
+	total := 0.0
+	raw := make([]float64, items)
+	for i := range raw {
+		raw[i] = 1 + rng.Float64()
+		total += raw[i]
+	}
+	for i := 0; i < items; i++ {
+		item := model.Str(fmt.Sprintf("item%02d", i))
+		if err := weight.Put([]model.Value{item}, raw[i]/total); err != nil {
+			panic(err)
+		}
+		base := 50 + 10*float64(i%9)
+		for m := 0; m < months; m++ {
+			v := base * (1 + 0.002*float64(m)) * (1 + 0.01*math.Sin(2*math.Pi*float64(m)/12))
+			v += rng.NormFloat64() * 0.1
+			if err := price.Put([]model.Value{model.Per(start.Shift(int64(m))), item}, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return Data{"PRICE": price, "WEIGHT": weight}
+}
+
+// SupervisionProgram is a supervisory-reporting style program: total assets
+// by quarter, a four-quarter moving average, each bank's market share, and
+// the deviation of system assets from their linear trend.
+const SupervisionProgram = `
+cube ASSETS(q: quarter, b: string) measure a
+
+SYS     := sum(ASSETS, group by q)
+SYSMA   := movavg(SYS, 4)
+SHARE   := ASSETS / SYS * 100
+SYSTREND := lintrend(SYS)
+GAP     := SYS - SYSTREND
+`
+
+// SupervisionSource builds ASSETS(q, b) for banks × quarters with
+// heterogeneous sizes and idiosyncratic growth.
+func SupervisionSource(banks, quarters int, seed int64) Data {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	assets := model.NewCube(model.NewSchema("ASSETS",
+		[]model.Dim{{Name: "q", Type: model.TQuarter}, {Name: "b", Type: model.TString}}, "a"))
+	start := model.NewQuarterly(2015, 1)
+	for b := 0; b < banks; b++ {
+		bank := model.Str(fmt.Sprintf("bank%03d", b))
+		size := math.Exp(rng.NormFloat64()) * 1e9
+		growth := 1 + 0.01*rng.Float64()
+		v := size
+		for q := 0; q < quarters; q++ {
+			v *= growth * (1 + 0.005*rng.NormFloat64())
+			if err := assets.Put([]model.Value{model.Per(start.Shift(int64(q))), bank}, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return Data{"ASSETS": assets}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"exlengine/internal/model"
+)
+
+func TestGDPSourceShape(t *testing.T) {
+	data := GDPSource(GDPConfig{Days: 100, Regions: 3})
+	pdr, rgdppc := data["PDR"], data["RGDPPC"]
+	if pdr == nil || rgdppc == nil {
+		t.Fatal("missing cubes")
+	}
+	if pdr.Len() != 300 {
+		t.Errorf("PDR len = %d, want 300", pdr.Len())
+	}
+	// 100 days from 2000-01-01 span two quarters.
+	if rgdppc.Len() != 2*3 {
+		t.Errorf("RGDPPC len = %d, want 6", rgdppc.Len())
+	}
+	if pdr.Schema().String() != "PDR(d: day, r: string)" {
+		t.Errorf("PDR schema = %s", pdr.Schema())
+	}
+	if got := pdr.Schema().Measure; got != "p" {
+		t.Errorf("PDR measure = %s", got)
+	}
+	// Populations are positive and near their regional base.
+	for _, tu := range pdr.Tuples() {
+		if tu.Measure <= 0 {
+			t.Fatalf("non-positive population %v", tu.Measure)
+		}
+	}
+}
+
+func TestGDPSourceDeterministic(t *testing.T) {
+	a := GDPSource(GDPConfig{Days: 50, Regions: 2, Seed: 7})
+	b := GDPSource(GDPConfig{Days: 50, Regions: 2, Seed: 7})
+	for name := range a {
+		if !a[name].Equal(b[name], 0) {
+			t.Errorf("%s not deterministic", name)
+		}
+	}
+	c := GDPSource(GDPConfig{Days: 50, Regions: 2, Seed: 8})
+	if a["PDR"].Equal(c["PDR"], 0) {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series(SeriesConfig{Name: "X", Freq: model.Quarterly, N: 20, Level: 100, Trend: 1})
+	if s.Len() != 20 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Schema().IsTimeSeries() {
+		t.Error("Series must build a time series")
+	}
+	periods, vals, err := s.SortedSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if periods[0].Freq != model.Quarterly {
+		t.Errorf("freq = %v", periods[0].Freq)
+	}
+	// Pure trend without noise: strictly increasing.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatalf("trend not increasing at %d", i)
+		}
+	}
+	// Daily and monthly starts.
+	d := Series(SeriesConfig{Name: "D", Freq: model.Daily, N: 3})
+	if p, _, _ := d.SortedSeries(); p[0].Freq != model.Daily {
+		t.Error("daily series start")
+	}
+	m := Series(SeriesConfig{Name: "M", Freq: model.Monthly, N: 3})
+	if p, _, _ := m.SortedSeries(); p[0].Freq != model.Monthly {
+		t.Error("monthly series start")
+	}
+	y := Series(SeriesConfig{Name: "Y", Freq: model.Annual, N: 3})
+	if p, _, _ := y.SortedSeries(); p[0].Freq != model.Annual {
+		t.Error("annual series start")
+	}
+}
+
+func TestInflationSource(t *testing.T) {
+	data := InflationSource(5, 24, 3)
+	price, weight := data["PRICE"], data["WEIGHT"]
+	if price.Len() != 5*24 || weight.Len() != 5 {
+		t.Fatalf("lens = %d, %d", price.Len(), weight.Len())
+	}
+	// Weights are normalized.
+	total := 0.0
+	for _, tu := range weight.Tuples() {
+		total += tu.Measure
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("weights sum to %v", total)
+	}
+}
+
+func TestSupervisionSource(t *testing.T) {
+	data := SupervisionSource(4, 8, 5)
+	assets := data["ASSETS"]
+	if assets.Len() != 32 {
+		t.Fatalf("len = %d", assets.Len())
+	}
+	for _, tu := range assets.Tuples() {
+		if tu.Measure <= 0 {
+			t.Fatal("non-positive assets")
+		}
+	}
+}
+
+func TestRegionName(t *testing.T) {
+	if RegionName(3) != "R03" || RegionName(42) != "R42" {
+		t.Error("RegionName format")
+	}
+}
