@@ -3,21 +3,33 @@
 //
 // Usage:
 //
-//	exlrun -program program.exl -data dir [-target auto|chase|sql|etl|frame] [-out dir]
+//	exlrun -program program.exl -data dir [-target auto|chase|sql|etl|frame]
+//	       [-out dir] [-report] [-timeout d] [-fragment-timeout d]
+//	       [-retries n] [-no-fallback]
 //
 // The data directory must contain one <CUBE>.csv file per elementary cube,
 // with a header naming the dimensions (in declaration order) followed by
 // the measure. Results are written to the output directory (default: the
 // data directory) as <CUBE>.csv.
+//
+// Runs are fault-tolerant by default: transient engine failures retry
+// with capped exponential backoff and a target that keeps failing is
+// degraded to a fallback target permitted by the operator-support matrix
+// (chase last). -report prints the per-fragment record of every attempt,
+// retry and fallback; -no-fallback fails fast instead. Ctrl-C cancels the
+// run cleanly without writing partial results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
+	"exlengine/internal/dispatch"
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
 	"exlengine/internal/ops"
@@ -29,6 +41,11 @@ func main() {
 	target := flag.String("target", "auto", "execution target: auto, chase, sql, etl, frame")
 	outDir := flag.String("out", "", "output directory (default: the data directory)")
 	verbose := flag.Bool("v", false, "print the run report")
+	report := flag.Bool("report", false, "print the fault-tolerance report (attempts, retries, fallbacks)")
+	timeout := flag.Duration("timeout", 0, "overall run timeout (0 = none)")
+	fragTimeout := flag.Duration("fragment-timeout", 0, "per-fragment attempt timeout (0 = none)")
+	retries := flag.Int("retries", dispatch.DefaultRetry.MaxAttempts, "attempts per target for transient failures")
+	noFallback := flag.Bool("no-fallback", false, "disable degradation to fallback targets")
 	flag.Parse()
 
 	if *programPath == "" || *dataDir == "" {
@@ -43,7 +60,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng := engine.New(engine.WithParallelDispatch())
+	retry := dispatch.DefaultRetry
+	retry.MaxAttempts = *retries
+	opts := []engine.Option{
+		engine.WithParallelDispatch(),
+		engine.WithRetryPolicy(retry),
+	}
+	if *noFallback {
+		opts = append(opts, engine.WithoutDegradation())
+	}
+	if *fragTimeout > 0 {
+		opts = append(opts, engine.WithFragmentTimeout(*fragTimeout))
+	}
+	eng := engine.New(opts...)
 	if err := eng.RegisterProgram("main", string(src)); err != nil {
 		fatal(err)
 	}
@@ -71,21 +100,32 @@ func main() {
 		}
 	}
 
-	var report *engine.Report
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var rep *engine.Report
 	if *target == "auto" {
-		report, err = eng.RunAll()
+		rep, err = eng.RunAllContext(ctx)
 	} else {
-		report, err = eng.RunAllOn(ops.Target(*target))
+		rep, err = eng.RunAllOnContext(ctx, ops.Target(*target))
 	}
 	if err != nil {
 		fatal(err)
 	}
 	if *verbose {
-		fmt.Printf("plan: %v\n", report.Plan)
-		for _, s := range report.Subgraphs {
+		fmt.Printf("plan: %v\n", rep.Plan)
+		for _, s := range rep.Subgraphs {
 			fmt.Printf("  %-6s %v\n", s.Target, s.Cubes)
 		}
-		fmt.Printf("elapsed: %v\n", report.Elapsed)
+		fmt.Printf("elapsed: %v\n", rep.Elapsed)
+	}
+	if *report {
+		printReport(rep)
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -104,6 +144,37 @@ func main() {
 		}
 		if *verbose {
 			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+// printReport renders the fault-tolerance record of the run: one line per
+// fragment plus one per attempt that did not succeed first try.
+func printReport(rep *engine.Report) {
+	fmt.Printf("fault tolerance: %d fragment(s), %d retry(s), %d fallback(s)\n",
+		len(rep.Fragments), rep.Retries, rep.Fallbacks)
+	for i := range rep.Fragments {
+		fr := &rep.Fragments[i]
+		status := string(fr.Final)
+		if fr.Final == "" {
+			status = "FAILED"
+		} else if fr.Degraded() {
+			status = fmt.Sprintf("%s (degraded from %s)", fr.Final, fr.Primary)
+		}
+		fmt.Printf("  fragment %d %v: %s, %d attempt(s), %v\n",
+			fr.Index, fr.Cubes, status, len(fr.Attempts), fr.Elapsed)
+		for _, at := range fr.Attempts {
+			if at.Err == "" {
+				continue
+			}
+			line := fmt.Sprintf("    %s attempt %d: %s (%s)", at.Target, at.Attempt, at.Err, at.Class)
+			if at.Panic {
+				line += " [panic recovered]"
+			}
+			if at.Backoff > 0 {
+				line += fmt.Sprintf(" [backoff %v]", at.Backoff)
+			}
+			fmt.Println(line)
 		}
 	}
 }

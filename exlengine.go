@@ -27,8 +27,10 @@
 package exlengine
 
 import (
+	"exlengine/internal/dispatch"
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
+	"exlengine/internal/exlerr"
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
 	"exlengine/internal/ops"
@@ -41,10 +43,40 @@ type (
 	Engine = engine.Engine
 	// Option configures an Engine.
 	Option = engine.Option
-	// Report describes what a run recalculated and where.
+	// Report describes what a run recalculated and where, including the
+	// fault-tolerance record (attempts, retries, fallbacks).
 	Report = engine.Report
 	// SubgraphInfo is one dispatched fragment of a run.
 	SubgraphInfo = engine.SubgraphInfo
+)
+
+// Fault-tolerance types.
+type (
+	// RetryPolicy governs retries of transient fragment failures.
+	RetryPolicy = dispatch.RetryPolicy
+	// FragmentReport records every attempt and fallback of one fragment.
+	FragmentReport = dispatch.FragmentReport
+	// Attempt is one execution attempt of a fragment on a target.
+	Attempt = dispatch.Attempt
+	// ErrorClass partitions failures: Transient, Fatal, EgdViolation.
+	ErrorClass = exlerr.Class
+)
+
+// Failure classes of the error taxonomy.
+const (
+	Transient    = exlerr.Transient
+	Fatal        = exlerr.Fatal
+	EgdViolation = exlerr.EgdViolation
+)
+
+// Fault-tolerance options.
+var (
+	// WithRetryPolicy overrides the transient-failure retry policy.
+	WithRetryPolicy = engine.WithRetryPolicy
+	// WithoutDegradation disables fallback re-routing of failed fragments.
+	WithoutDegradation = engine.WithoutDegradation
+	// WithFragmentTimeout bounds each fragment attempt.
+	WithFragmentTimeout = engine.WithFragmentTimeout
 )
 
 // Data model types.

@@ -1,0 +1,49 @@
+package determine
+
+import "exlengine/internal/ops"
+
+// FallbackOrder returns every target able to execute the whole subgraph —
+// each target natively supports every operator of every statement — in
+// decreasing preference order of the subgraph's dominant operator, with
+// the chase (which supports everything) always last as the universal
+// fallback. The subgraph's currently assigned target is excluded: callers
+// degrade *away* from a failing engine, never back onto it.
+func FallbackOrder(sub Subgraph) []ops.Target {
+	var opNames []string
+	for _, ref := range sub.Stmts {
+		opNames = stmtOps(ref.Stmt.Expr, opNames)
+	}
+	var prefs []ops.Target
+	if len(opNames) == 0 {
+		prefs = ops.Preference("")
+	} else {
+		prefs = ops.Preference(dominantOp(opNames))
+	}
+	var out []ops.Target
+	add := func(t ops.Target) {
+		if t == sub.Target {
+			return
+		}
+		for _, seen := range out {
+			if seen == t {
+				return
+			}
+		}
+		out = append(out, t)
+	}
+	for _, t := range prefs {
+		if supportsAll(t, opNames) {
+			add(t)
+		}
+	}
+	// Preference lists may omit targets that nevertheless support the
+	// operators involved; sweep the full matrix so degradation has every
+	// permitted option.
+	for _, t := range ops.AllTargets {
+		if t != ops.TargetChase && supportsAll(t, opNames) {
+			add(t)
+		}
+	}
+	add(ops.TargetChase)
+	return out
+}

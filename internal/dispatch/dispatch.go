@@ -4,15 +4,27 @@
 // native code" — and moves cube data between engines through a shared
 // snapshot, applying parallelization where the dependency DAG allows
 // (independent subgraphs run concurrently, in waves).
+//
+// The dispatcher is fault-tolerant: runs are cancellable through a
+// context, panics inside target engines are recovered into typed errors
+// (exlerr), transient failures are retried with capped exponential
+// backoff, and a fragment whose target keeps failing is re-routed to a
+// fallback target permitted by the operator-support matrix, the chase
+// being the universal last resort. Every attempt, retry and fallback is
+// recorded in a Report.
 package dispatch
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"exlengine/internal/chase"
 	"exlengine/internal/determine"
 	"exlengine/internal/etl"
+	"exlengine/internal/exlerr"
 	"exlengine/internal/frame"
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
@@ -26,7 +38,35 @@ type Dispatcher struct {
 	// Parallel enables wave-based concurrent execution of independent
 	// subgraphs. Sequential execution gives the same results.
 	Parallel bool
+	// Retry governs same-target retries of transient failures. The zero
+	// value performs a single attempt.
+	Retry RetryPolicy
+	// Sleep waits out retry backoffs; nil uses the real clock.
+	Sleep Sleeper
+	// Degrade enables fallback re-routing: a fragment whose target fails
+	// (after retries) is re-run on the next target the operator-support
+	// matrix permits, chase last.
+	Degrade bool
+	// FragmentTimeout bounds each fragment attempt; zero means no bound.
+	FragmentTimeout time.Duration
+	// Middleware wraps fragment execution, outermost first. Fault
+	// injection (internal/faults) hooks in here.
+	Middleware []Middleware
 }
+
+// Fragment describes one fragment attempt to middleware.
+type Fragment struct {
+	Index   int // fragment position in the plan
+	Attempt int // 1-based attempt number on the current target
+	Target  ops.Target
+	Cubes   []string // the derived cubes the fragment produces
+}
+
+// Runner executes a fragment attempt over a snapshot.
+type Runner func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error)
+
+// Middleware wraps a Runner, observing or perturbing fragment execution.
+type Middleware func(Runner) Runner
 
 // TgdSource resolves the tgds generated for one derived cube (its
 // statement's tgds, auxiliaries included, in stratification order).
@@ -35,9 +75,23 @@ type TgdSource func(cube string) []*mapping.Tgd
 // Run executes the subgraphs over the snapshot (cube name -> instance),
 // returning every derived cube computed. The snapshot must contain all
 // elementary cubes the plan needs; derived cubes produced by one subgraph
-// become inputs of later ones.
+// become inputs of later ones. Run is RunContext without cancellation,
+// discarding the report.
 func (d *Dispatcher) Run(subs []determine.Subgraph, tgds TgdSource,
 	schemas map[string]model.Schema, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+	out, _, err := d.RunContext(context.Background(), subs, tgds, schemas, snap)
+	return out, err
+}
+
+// RunContext executes the plan under a context: cancelling the context
+// aborts the run between (and during) fragment attempts. The returned
+// Report lists every attempt, retry and fallback, even when the run
+// fails.
+func (d *Dispatcher) RunContext(ctx context.Context, subs []determine.Subgraph, tgds TgdSource,
+	schemas map[string]model.Schema, snap map[string]*model.Cube) (map[string]*model.Cube, *Report, error) {
+
+	start := time.Now()
+	rep := &Report{Fragments: make([]FragmentReport, len(subs))}
 
 	// Working snapshot shared across subgraphs.
 	work := make(map[string]*model.Cube, len(snap))
@@ -50,23 +104,27 @@ func (d *Dispatcher) Run(subs []determine.Subgraph, tgds TgdSource,
 	for i, sub := range subs {
 		f, err := buildFragment(sub, tgds, schemas)
 		if err != nil {
-			return nil, err
+			rep.Elapsed = time.Since(start)
+			return nil, rep, err
 		}
 		frags[i] = f
 	}
 
 	if !d.Parallel {
-		for _, f := range frags {
-			out, err := f.run(work)
+		for i, f := range frags {
+			out, fr, err := d.runFragment(ctx, i, subs[i], f, work)
+			rep.Fragments[i] = fr
 			if err != nil {
-				return nil, err
+				rep.Elapsed = time.Since(start)
+				return nil, rep, err
 			}
 			for k, v := range out {
 				work[k] = v
 				results[k] = v
 			}
 		}
-		return results, nil
+		rep.Elapsed = time.Since(start)
+		return results, rep, nil
 	}
 
 	// Wave-based parallel execution: a fragment is ready when every input
@@ -102,13 +160,15 @@ func (d *Dispatcher) Run(subs []determine.Subgraph, tgds TgdSource,
 		var wg sync.WaitGroup
 		var firstErr error
 		for _, i := range wave {
+			i := i
 			f := frags[i]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				out, err := f.run(work)
+				out, fr, err := d.runFragment(ctx, i, subs[i], f, work)
 				mu.Lock()
 				defer mu.Unlock()
+				rep.Fragments[i] = fr
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
@@ -122,9 +182,13 @@ func (d *Dispatcher) Run(subs []determine.Subgraph, tgds TgdSource,
 		}
 		wg.Wait()
 		if firstErr != nil {
-			return nil, firstErr
+			rep.Elapsed = time.Since(start)
+			return nil, rep, firstErr
 		}
-		// Publish the wave's outputs to the shared snapshot.
+		// Publish the wave's outputs to the shared snapshot. Fragments of
+		// the wave that produced nothing (impossible today) would simply
+		// publish nothing: failed attempts never reach this point, so the
+		// shared snapshot only ever sees complete fragment outputs.
 		for _, i := range wave {
 			for _, c := range frags[i].produces {
 				if v, ok := results[c]; ok {
@@ -136,10 +200,110 @@ func (d *Dispatcher) Run(subs []determine.Subgraph, tgds TgdSource,
 	}
 	for i := range frags {
 		if !done[i] {
-			return nil, fmt.Errorf("dispatch: unresolvable fragment dependencies")
+			rep.Elapsed = time.Since(start)
+			return nil, rep, fmt.Errorf("dispatch: unresolvable fragment dependencies")
 		}
 	}
-	return results, nil
+	rep.Elapsed = time.Since(start)
+	return results, rep, nil
+}
+
+// runFragment executes one fragment with retries and fallback
+// degradation, recording every attempt.
+func (d *Dispatcher) runFragment(ctx context.Context, idx int, sub determine.Subgraph,
+	f *fragment, snap map[string]*model.Cube) (map[string]*model.Cube, FragmentReport, error) {
+
+	start := time.Now()
+	fr := FragmentReport{Index: idx, Cubes: append([]string(nil), f.produces...), Primary: f.target}
+
+	targets := []ops.Target{f.target}
+	if d.Degrade {
+		targets = append(targets, determine.FallbackOrder(sub)...)
+	}
+
+	runner := Runner(func(ctx context.Context, info Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+		return f.runOn(ctx, info.Target, snap)
+	})
+	for i := len(d.Middleware) - 1; i >= 0; i-- {
+		runner = d.Middleware[i](runner)
+	}
+	sleep := d.Sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+
+	var lastErr error
+	for ti, target := range targets {
+		if ti > 0 {
+			fr.Fallbacks = append(fr.Fallbacks, target)
+		}
+		for attempt := 1; ; attempt++ {
+			out, err := d.exec(ctx, runner, Fragment{Index: idx, Attempt: attempt, Target: target, Cubes: fr.Cubes}, snap)
+			if err == nil {
+				fr.Attempts = append(fr.Attempts, Attempt{Target: target, Attempt: attempt})
+				fr.Final = target
+				fr.Elapsed = time.Since(start)
+				return out, fr, nil
+			}
+			lastErr = err
+			rec := Attempt{Target: target, Attempt: attempt, Err: err.Error(),
+				Class: exlerr.ClassOf(err), Panic: exlerr.IsPanic(err)}
+			if exlerr.IsCancellation(err) {
+				if ctx.Err() != nil {
+					// The run itself was cancelled: stop, don't degrade.
+					fr.Attempts = append(fr.Attempts, rec)
+					fr.Elapsed = time.Since(start)
+					return nil, fr, err
+				}
+				// Only the per-fragment timeout expired: the target is
+				// slow, which is a transient target failure — retry, then
+				// degrade like any other.
+				rec.Class = exlerr.Transient
+			}
+			if rec.Class == exlerr.Transient && attempt < d.Retry.attempts() {
+				rec.Backoff = d.Retry.Delay(attempt)
+				fr.Attempts = append(fr.Attempts, rec)
+				if serr := sleep(ctx, rec.Backoff); serr != nil {
+					fr.Elapsed = time.Since(start)
+					return nil, fr, serr
+				}
+				continue
+			}
+			fr.Attempts = append(fr.Attempts, rec)
+			if rec.Class == exlerr.EgdViolation {
+				// The data itself is inconsistent; every target computes
+				// the same data-exchange semantics, so degradation would
+				// only repeat the violation.
+				fr.Elapsed = time.Since(start)
+				return nil, fr, err
+			}
+			break // exhausted this target; degrade to the next
+		}
+	}
+	fr.Elapsed = time.Since(start)
+	return nil, fr, fmt.Errorf("dispatch: fragment %d %v failed on every permitted target: %w", idx, fr.Cubes, lastErr)
+}
+
+// exec performs a single attempt: it applies the fragment timeout,
+// isolates panics from the target engine (and any middleware) into typed
+// errors, and refuses to start under a cancelled context.
+func (d *Dispatcher) exec(ctx context.Context, runner Runner, fr Fragment,
+	snap map[string]*model.Cube) (out map[string]*model.Cube, err error) {
+
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	if d.FragmentTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.FragmentTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, exlerr.Recovered(r, debug.Stack())
+		}
+	}()
+	return runner(ctx, fr, snap)
 }
 
 // fragment is one subgraph compiled into a self-contained mapping.
@@ -198,13 +362,16 @@ func buildFragment(sub determine.Subgraph, tgds TgdSource, schemas map[string]mo
 	return f, nil
 }
 
-// run executes the fragment on its target engine over the snapshot.
-func (f *fragment) run(snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+// runOn executes the fragment on the given target engine over the
+// snapshot. The target may differ from the fragment's assigned one when
+// the dispatcher degrades. Each attempt reads the shared snapshot and
+// returns a fresh output map, so a failed attempt leaves no trace.
+func (f *fragment) runOn(ctx context.Context, target ops.Target, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
 	input := make(map[string]*model.Cube, len(f.inputs))
 	for _, in := range f.inputs {
 		c, ok := snap[in]
 		if !ok {
-			return nil, fmt.Errorf("dispatch: input cube %s not available for %s fragment", in, f.target)
+			return nil, fmt.Errorf("dispatch: input cube %s not available for %s fragment", in, target)
 		}
 		input[in] = c
 	}
@@ -223,7 +390,11 @@ func (f *fragment) run(snap map[string]*model.Cube) (map[string]*model.Cube, err
 		return out
 	}
 
-	switch f.target {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	switch target {
 	case ops.TargetChase:
 		sol, err := chase.New(f.m).Solve(chase.Instance(input))
 		if err != nil {
@@ -260,7 +431,7 @@ func (f *fragment) run(snap map[string]*model.Cube) (map[string]*model.Cube, err
 		if err != nil {
 			return nil, err
 		}
-		res, err := etl.Run(job, f.m, input)
+		res, err := etl.RunContext(ctx, job, f.m, input)
 		if err != nil {
 			return nil, err
 		}
@@ -278,6 +449,6 @@ func (f *fragment) run(snap map[string]*model.Cube) (map[string]*model.Cube, err
 		return keep(res), nil
 
 	default:
-		return nil, fmt.Errorf("dispatch: unknown target %s", f.target)
+		return nil, fmt.Errorf("dispatch: unknown target %s", target)
 	}
 }

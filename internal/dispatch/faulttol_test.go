@@ -1,0 +1,385 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exlengine/internal/determine"
+	"exlengine/internal/exlerr"
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+	"exlengine/internal/workload"
+)
+
+// fakeSleep records backoff delays without consuming wall-clock time.
+type fakeSleep struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (s *fakeSleep) fn(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.delays = append(s.delays, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+// failN is middleware failing the first n attempts it sees with the
+// given classified error, then passing through.
+func failN(n int, class exlerr.Class) Middleware {
+	var mu sync.Mutex
+	return func(next Runner) Runner {
+		return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+			mu.Lock()
+			fire := n > 0
+			if fire {
+				n--
+			}
+			mu.Unlock()
+			if fire {
+				return nil, exlerr.New(class, errors.New("injected"))
+			}
+			return next(ctx, fr, snap)
+		}
+	}
+}
+
+// panicOnTarget is middleware that panics every attempt on one target.
+func panicOnTarget(target ops.Target) Middleware {
+	return func(next Runner) Runner {
+		return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+			if fr.Target == target {
+				panic("engine crashed")
+			}
+			return next(ctx, fr, snap)
+		}
+	}
+}
+
+func yearCube(name string, n int) *model.Cube {
+	c := model.NewCube(model.NewSchema(name, []model.Dim{{Name: "t", Type: model.TYear}}, "v"))
+	for y := 2000; y < 2000+n; y++ {
+		_ = c.Put([]model.Value{model.Per(model.NewAnnual(y))}, float64(y-1999))
+	}
+	return c
+}
+
+func simpleFixture(t *testing.T) *fixture {
+	t.Helper()
+	return setup(t, "cube A(t: year) measure v\nB := A * 2", workload.Data{"A": yearCube("A", 10)})
+}
+
+// TestRetryTransient: a transient failure on the first attempt retries on
+// the same target with backoff and succeeds; the report records both
+// attempts and the backoff, and the fake sleeper sees the delay.
+func TestRetryTransient(t *testing.T) {
+	f := simpleFixture(t)
+	ref := reference(t, f)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	sl := &fakeSleep{}
+	d := &Dispatcher{
+		Retry:      RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond},
+		Sleep:      sl.fn,
+		Middleware: []Middleware{failN(1, exlerr.Transient)},
+	}
+	got, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["B"].Equal(ref["B"], 1e-9) {
+		t.Error("retried run differs from chase")
+	}
+	fr := rep.Fragments[0]
+	if len(fr.Attempts) != 2 || fr.Attempts[0].Err == "" || fr.Attempts[1].Err != "" {
+		t.Fatalf("attempts = %+v, want fail then success", fr.Attempts)
+	}
+	if fr.Attempts[0].Class != exlerr.Transient || fr.Attempts[0].Backoff != 10*time.Millisecond {
+		t.Errorf("first attempt = %+v", fr.Attempts[0])
+	}
+	if fr.Final != ops.TargetETL || fr.Degraded() {
+		t.Errorf("fragment should succeed on its primary target: %+v", fr)
+	}
+	if rep.Retries() != 1 || rep.Fallbacks() != 0 {
+		t.Errorf("retries=%d fallbacks=%d", rep.Retries(), rep.Fallbacks())
+	}
+	if len(sl.delays) != 1 || sl.delays[0] != 10*time.Millisecond {
+		t.Errorf("sleeper saw %v", sl.delays)
+	}
+}
+
+// TestFallbackAfterRetriesExhausted: transient failures exhaust the retry
+// budget on the primary target, then the fragment degrades to a fallback
+// target and completes with the chase-identical result.
+func TestFallbackAfterRetriesExhausted(t *testing.T) {
+	f := simpleFixture(t)
+	ref := reference(t, f)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetSQL))
+
+	sl := &fakeSleep{}
+	d := &Dispatcher{
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		Sleep:   sl.fn,
+		Degrade: true,
+		// Fail every sql attempt; the fallback target is untouched.
+		Middleware: []Middleware{func(next Runner) Runner {
+			return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+				if fr.Target == ops.TargetSQL {
+					return nil, exlerr.Transientf("sql down")
+				}
+				return next(ctx, fr, snap)
+			}
+		}},
+	}
+	got, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["B"].Equal(ref["B"], 1e-9) {
+		t.Error("degraded run differs from chase")
+	}
+	fr := rep.Fragments[0]
+	if !fr.Degraded() || fr.Primary != ops.TargetSQL || fr.Final == ops.TargetSQL {
+		t.Fatalf("fragment should have degraded away from sql: %+v", fr)
+	}
+	if len(fr.Fallbacks) == 0 || fr.Fallbacks[0] != fr.Final {
+		t.Errorf("fallbacks = %v, final = %v", fr.Fallbacks, fr.Final)
+	}
+	if fr.Retries() != 1 {
+		t.Errorf("retries = %d, want 1 (two sql attempts)", fr.Retries())
+	}
+	if !strings.Contains(rep.String(), "degraded from sql") {
+		t.Errorf("report rendering lost the degradation:\n%s", rep)
+	}
+}
+
+// TestFallbackOnPanic: a panicking target engine is isolated — the panic
+// becomes a typed Fatal error, no retry happens on that target, and the
+// fragment re-routes.
+func TestFallbackOnPanic(t *testing.T) {
+	f := simpleFixture(t)
+	ref := reference(t, f)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetFrame))
+
+	d := &Dispatcher{
+		Retry:      RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Sleep:      (&fakeSleep{}).fn,
+		Degrade:    true,
+		Middleware: []Middleware{panicOnTarget(ops.TargetFrame)},
+	}
+	got, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["B"].Equal(ref["B"], 1e-9) {
+		t.Error("degraded run differs from chase")
+	}
+	fr := rep.Fragments[0]
+	if len(fr.Attempts) < 2 || !fr.Attempts[0].Panic || fr.Attempts[0].Class != exlerr.Fatal {
+		t.Fatalf("panic not recorded: %+v", fr.Attempts)
+	}
+	// Fatal errors must not be retried on the same target.
+	if fr.Attempts[1].Target == ops.TargetFrame {
+		t.Errorf("fatal panic retried on the same target: %+v", fr.Attempts)
+	}
+}
+
+// TestEgdViolationNoFallback: an egd violation is a property of the data,
+// so the dispatcher fails fast — no retry, no fallback.
+func TestEgdViolationNoFallback(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetChase))
+
+	d := &Dispatcher{
+		Retry:      RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Sleep:      (&fakeSleep{}).fn,
+		Degrade:    true,
+		Middleware: []Middleware{failN(1, exlerr.EgdViolation)},
+	}
+	_, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err == nil {
+		t.Fatal("egd violation must fail the run")
+	}
+	if exlerr.ClassOf(err) != exlerr.EgdViolation {
+		t.Errorf("error class = %v", exlerr.ClassOf(err))
+	}
+	fr := rep.Fragments[0]
+	if len(fr.Attempts) != 1 || len(fr.Fallbacks) != 0 {
+		t.Errorf("egd violation retried or degraded: %+v", fr)
+	}
+}
+
+// TestAllTargetsFail: when every permitted target fails, the run errors
+// and the report shows the chase as the last resort tried.
+func TestAllTargetsFail(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	d := &Dispatcher{
+		Degrade: true,
+		Middleware: []Middleware{func(Runner) Runner {
+			return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+				return nil, exlerr.Fatalf("target %s broken", fr.Target)
+			}
+		}},
+	}
+	_, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err == nil {
+		t.Fatal("run must fail when every target fails")
+	}
+	fr := rep.Fragments[0]
+	if fr.Final != "" {
+		t.Errorf("no target succeeded but Final = %s", fr.Final)
+	}
+	if n := len(fr.Fallbacks); n == 0 || fr.Fallbacks[n-1] != ops.TargetChase {
+		t.Errorf("chase must be the last resort: %v", fr.Fallbacks)
+	}
+}
+
+// TestCancellation: a cancelled context aborts the run without retrying
+// or degrading.
+func TestCancellation(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := &Dispatcher{Retry: DefaultRetry, Degrade: true, Sleep: (&fakeSleep{}).fn}
+	_, _, err := d.RunContext(ctx, subs, f.tgds, f.schemas, f.data)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancellationDuringBackoff: cancelling while the dispatcher sleeps
+// between retries aborts promptly.
+func TestCancellationDuringBackoff(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Dispatcher{
+		Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel() // the user cancels mid-backoff
+			return ctx.Err()
+		},
+		Middleware: []Middleware{failN(10, exlerr.Transient)},
+	}
+	_, _, err := d.RunContext(ctx, subs, f.tgds, f.schemas, f.data)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFragmentTimeoutDegrades: a per-fragment timeout expiring on a slow
+// target counts as a transient target failure and degrades instead of
+// killing the run.
+func TestFragmentTimeoutDegrades(t *testing.T) {
+	f := simpleFixture(t)
+	ref := reference(t, f)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	d := &Dispatcher{
+		Retry:           RetryPolicy{MaxAttempts: 1},
+		Degrade:         true,
+		FragmentTimeout: 20 * time.Millisecond,
+		// The primary target stalls past the timeout; fallbacks run free.
+		Middleware: []Middleware{func(next Runner) Runner {
+			return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+				if fr.Target == ops.TargetETL {
+					<-ctx.Done()
+					return nil, ctx.Err()
+				}
+				return next(ctx, fr, snap)
+			}
+		}},
+	}
+	got, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["B"].Equal(ref["B"], 1e-9) {
+		t.Error("degraded run differs from chase")
+	}
+	if fr := rep.Fragments[0]; !fr.Degraded() {
+		t.Errorf("timeout should degrade: %+v", fr)
+	}
+}
+
+// TestParallelPanicIsolation: panics inside parallel wave goroutines are
+// recovered and degraded per fragment; the whole run still completes.
+func TestParallelPanicIsolation(t *testing.T) {
+	prog := `
+cube A(t: year) measure v
+cube B(t: year) measure v
+A2 := A * 2
+B2 := B * 3
+C  := A2 + B2
+`
+	f := setup(t, prog, workload.Data{"A": yearCube("A", 15), "B": yearCube("B", 15)})
+	ref := reference(t, f)
+
+	i := 0
+	alternating := func(determine.StmtRef) ops.Target {
+		i++
+		if i%2 == 0 {
+			return ops.TargetSQL
+		}
+		return ops.TargetFrame
+	}
+	subs := determine.Partition(f.graph.FullPlan(), alternating)
+	d := &Dispatcher{
+		Parallel:   true,
+		Degrade:    true,
+		Retry:      RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		Sleep:      (&fakeSleep{}).fn,
+		Middleware: []Middleware{panicOnTarget(ops.TargetFrame)},
+	}
+	got, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"A2", "B2", "C"} {
+		if !got[rel].Equal(ref[rel], 1e-9) {
+			t.Errorf("%s differs after degraded parallel run", rel)
+		}
+	}
+	if rep.Fallbacks() == 0 {
+		t.Error("expected at least one fallback from the panicking frame target")
+	}
+}
+
+// TestZeroValueDispatcherFailsFast: the zero-value dispatcher keeps the
+// historical behaviour — no retry, no fallback, first error aborts.
+func TestZeroValueDispatcherFailsFast(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	d := &Dispatcher{Middleware: []Middleware{failN(1, exlerr.Transient)}}
+	_, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err == nil {
+		t.Fatal("zero-value dispatcher must not retry")
+	}
+	if len(rep.Fragments[0].Attempts) != 1 {
+		t.Errorf("attempts = %+v", rep.Fragments[0].Attempts)
+	}
+}
+
+// TestBackoffSchedule checks the capped exponential backoff computation.
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if (RetryPolicy{}).Delay(3) != 0 {
+		t.Error("zero policy must have zero delay")
+	}
+}

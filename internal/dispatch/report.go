@@ -1,0 +1,103 @@
+package dispatch
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"exlengine/internal/exlerr"
+	"exlengine/internal/ops"
+)
+
+// Attempt records one execution attempt of a fragment on a target.
+type Attempt struct {
+	Target  ops.Target
+	Attempt int // 1-based, counted per target
+	// Err and Class describe the failure; Err is empty on success.
+	Err     string
+	Class   exlerr.Class
+	Panic   bool
+	Backoff time.Duration // backoff slept after this failed attempt
+}
+
+// FragmentReport describes everything that happened to one fragment:
+// every attempt, every fallback target tried, and where it finally ran.
+type FragmentReport struct {
+	Index     int
+	Cubes     []string
+	Primary   ops.Target   // the target the determination engine assigned
+	Final     ops.Target   // the target that succeeded; empty if the fragment failed
+	Attempts  []Attempt    // in execution order, across all targets
+	Fallbacks []ops.Target // fallback targets tried after the primary, in order
+	Elapsed   time.Duration
+}
+
+// Retries counts the same-target retry attempts of the fragment.
+func (f *FragmentReport) Retries() int {
+	n := len(f.Attempts) - 1 - len(f.Fallbacks)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Degraded reports whether the fragment completed on a non-primary target.
+func (f *FragmentReport) Degraded() bool { return f.Final != "" && f.Final != f.Primary }
+
+// Report describes a whole dispatch run, one entry per fragment.
+type Report struct {
+	Fragments []FragmentReport
+	Elapsed   time.Duration
+}
+
+// Retries totals same-target retries across all fragments.
+func (r *Report) Retries() int {
+	n := 0
+	for i := range r.Fragments {
+		n += r.Fragments[i].Retries()
+	}
+	return n
+}
+
+// Fallbacks totals fallback targets tried across all fragments.
+func (r *Report) Fallbacks() int {
+	n := 0
+	for i := range r.Fragments {
+		n += len(r.Fragments[i].Fallbacks)
+	}
+	return n
+}
+
+// String renders the report as the table `exlrun --report` prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dispatch: %d fragment(s), %d retry(s), %d fallback(s), %v\n",
+		len(r.Fragments), r.Retries(), r.Fallbacks(), r.Elapsed)
+	for i := range r.Fragments {
+		f := &r.Fragments[i]
+		status := string(f.Final)
+		if f.Final == "" {
+			status = "FAILED"
+		} else if f.Degraded() {
+			status = fmt.Sprintf("%s (degraded from %s)", f.Final, f.Primary)
+		}
+		fmt.Fprintf(&b, "  fragment %d %v: planned %s, ran on %s, %d attempt(s), %v\n",
+			f.Index, f.Cubes, f.Primary, status, len(f.Attempts), f.Elapsed)
+		for _, a := range f.Attempts {
+			if a.Err == "" {
+				fmt.Fprintf(&b, "    %s attempt %d: ok\n", a.Target, a.Attempt)
+				continue
+			}
+			kind := a.Class.String()
+			if a.Panic {
+				kind += ", panic"
+			}
+			fmt.Fprintf(&b, "    %s attempt %d: %s (%s)", a.Target, a.Attempt, a.Err, kind)
+			if a.Backoff > 0 {
+				fmt.Fprintf(&b, " [backoff %v]", a.Backoff)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package dispatch
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy governs how transient fragment failures are retried on the
+// same target before the dispatcher degrades to a fallback target.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per target; values
+	// below 1 behave as 1 (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero means no cap.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy the engine installs: three attempts with
+// 10ms/20ms backoff, capped at one second.
+var DefaultRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the capped exponential backoff to sleep after the given
+// failed attempt (1-based): BaseDelay * 2^(attempt-1), at most MaxDelay.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// Sleeper waits out a backoff delay, returning early with the context
+// error on cancellation. Tests inject a fake sleeper so no wall-clock
+// time passes.
+type Sleeper func(ctx context.Context, d time.Duration) error
+
+// realSleep is the production Sleeper.
+func realSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

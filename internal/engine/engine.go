@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -47,13 +48,47 @@ func WithParallelDispatch() Option {
 	return func(e *Engine) { e.disp.Parallel = true }
 }
 
-// New returns an empty engine.
+// WithRetryPolicy overrides the dispatcher's retry policy for transient
+// fragment failures (default: dispatch.DefaultRetry).
+func WithRetryPolicy(p dispatch.RetryPolicy) Option {
+	return func(e *Engine) { e.disp.Retry = p }
+}
+
+// WithoutDegradation disables fallback re-routing: a fragment whose
+// target fails (after retries) fails the run instead of being re-run on
+// another permitted target.
+func WithoutDegradation() Option {
+	return func(e *Engine) { e.disp.Degrade = false }
+}
+
+// WithFragmentTimeout bounds each fragment attempt.
+func WithFragmentTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.disp.FragmentTimeout = d }
+}
+
+// WithSleeper injects the backoff sleeper (tests use a fake clock).
+func WithSleeper(s dispatch.Sleeper) Option {
+	return func(e *Engine) { e.disp.Sleep = s }
+}
+
+// WithDispatchMiddleware wraps fragment execution, outermost first —
+// the hook the fault-injection harness (internal/faults) uses.
+func WithDispatchMiddleware(mw ...dispatch.Middleware) Option {
+	return func(e *Engine) { e.disp.Middleware = append(e.disp.Middleware, mw...) }
+}
+
+// New returns an empty engine. Fault tolerance is on by default:
+// transient fragment failures retry under dispatch.DefaultRetry, and a
+// target that keeps failing degrades to a fallback target permitted by
+// the operator-support matrix.
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		store:    store.New(),
 		programs: make(map[string]*exl.Analyzed),
 		mappings: make(map[string]*mapping.Mapping),
 	}
+	e.disp.Retry = dispatch.DefaultRetry
+	e.disp.Degrade = true
 	for _, o := range opts {
 		o(e)
 	}
@@ -192,42 +227,64 @@ type SubgraphInfo struct {
 	Cubes  []string
 }
 
-// Report describes what a run did.
+// Report describes what a run did, including the fault-tolerance record:
+// per-fragment attempts, targets used, retries and fallback decisions.
 type Report struct {
 	Plan      []string // recalculated cubes, in execution order
 	Subgraphs []SubgraphInfo
+	// Fragments lists every dispatch attempt (one entry per subgraph),
+	// including retries, panics and fallback targets.
+	Fragments []dispatch.FragmentReport
+	Retries   int // same-target retries across the run
+	Fallbacks int // fallback targets tried across the run
 	Elapsed   time.Duration
 }
 
 // RunAll recalculates every derived cube of every program, assigning each
 // statement to its preferred target.
 func (e *Engine) RunAll() (*Report, error) {
-	return e.run(nil, determine.AssignByPreference, time.Now())
+	return e.run(context.Background(), nil, determine.AssignByPreference, time.Now())
+}
+
+// RunAllContext is RunAll under a context: cancellation or deadline
+// expiry aborts the dispatch mid-run without persisting any result.
+func (e *Engine) RunAllContext(ctx context.Context) (*Report, error) {
+	return e.run(ctx, nil, determine.AssignByPreference, time.Now())
 }
 
 // RunAllAt is RunAll with an explicit version timestamp for the results.
 func (e *Engine) RunAllAt(asOf time.Time) (*Report, error) {
-	return e.run(nil, determine.AssignByPreference, asOf)
+	return e.run(context.Background(), nil, determine.AssignByPreference, asOf)
 }
 
 // RunAllOn recalculates everything on a single fixed target system.
 func (e *Engine) RunAllOn(t ops.Target) (*Report, error) {
-	return e.run(nil, determine.FixedAssigner(t), time.Now())
+	return e.run(context.Background(), nil, determine.FixedAssigner(t), time.Now())
+}
+
+// RunAllOnContext is RunAllOn under a context.
+func (e *Engine) RunAllOnContext(ctx context.Context, t ops.Target) (*Report, error) {
+	return e.run(ctx, nil, determine.FixedAssigner(t), time.Now())
 }
 
 // Recalculate runs the determination step for the changed cubes and
 // recomputes exactly the affected derived cubes.
 func (e *Engine) Recalculate(changed ...string) (*Report, error) {
-	return e.run(changed, determine.AssignByPreference, time.Now())
+	return e.run(context.Background(), changed, determine.AssignByPreference, time.Now())
+}
+
+// RecalculateContext is Recalculate under a context.
+func (e *Engine) RecalculateContext(ctx context.Context, changed ...string) (*Report, error) {
+	return e.run(ctx, changed, determine.AssignByPreference, time.Now())
 }
 
 // RecalculateAt is Recalculate with an explicit version timestamp for the
 // results (historicity control).
 func (e *Engine) RecalculateAt(asOf time.Time, changed ...string) (*Report, error) {
-	return e.run(changed, determine.AssignByPreference, asOf)
+	return e.run(context.Background(), changed, determine.AssignByPreference, asOf)
 }
 
-func (e *Engine) run(changed []string, assign determine.Assigner, asOf time.Time) (*Report, error) {
+func (e *Engine) run(ctx context.Context, changed []string, assign determine.Assigner, asOf time.Time) (*Report, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.graph == nil {
@@ -263,24 +320,24 @@ func (e *Engine) run(changed []string, assign determine.Assigner, asOf time.Time
 			snap[name] = model.NewCube(sch)
 		}
 	}
-	results, err := e.disp.Run(subs, e.tgdsFor, schemas, snap)
+	results, drep, err := e.disp.RunContext(ctx, subs, e.tgdsFor, schemas, snap)
 	if err != nil {
 		return nil, err
 	}
 
-	// Persist results as new versions.
-	names := make([]string, 0, len(results))
-	for n := range results {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		if err := e.store.Put(results[n], asOf); err != nil {
-			return nil, err
-		}
+	// Persist results as new versions, atomically: either every derived
+	// cube of the run becomes visible or none does, so a failed write
+	// never leaves the store with a half-applied run.
+	if err := e.store.PutAll(results, asOf); err != nil {
+		return nil, err
 	}
 
-	rep := &Report{Elapsed: time.Since(start)}
+	rep := &Report{
+		Fragments: drep.Fragments,
+		Retries:   drep.Retries(),
+		Fallbacks: drep.Fallbacks(),
+		Elapsed:   time.Since(start),
+	}
 	for _, ref := range plan {
 		rep.Plan = append(rep.Plan, ref.Cube())
 	}

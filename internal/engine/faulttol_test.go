@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"exlengine/internal/dispatch"
+	"exlengine/internal/exlerr"
+	"exlengine/internal/faults"
+	"exlengine/internal/ops"
+	"exlengine/internal/workload"
+)
+
+func waitNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestFaultToleranceEndToEnd is the acceptance scenario of the
+// fault-tolerance work: a run with an injected panic in one ETL step and a
+// transient SQL-engine error completes via retry + fallback, produces
+// cubes identical to the chase solution, leaks no goroutines, and its
+// Report lists every retry and fallback.
+func TestFaultToleranceEndToEnd(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 370, Regions: 3})
+	ref := chaseReference(t, data)
+
+	// Fault 1: the first ETL step to run panics (a crashing step inside
+	// the streaming runtime).
+	restore := faults.PanicETLStep("")
+	defer restore()
+	// Fault 2: the first SQL-engine attempt fails with a transient error.
+	inj := faults.NewInjector(faults.Fault{
+		Fragment: faults.AnyFragment, Attempt: 1, Target: ops.TargetSQL,
+		Kind: faults.Error, Class: exlerr.Transient,
+	})
+
+	var slept []time.Duration
+	e := newGDPEngine(t, data,
+		WithSleeper(func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		}),
+		WithDispatchMiddleware(inj.Middleware()))
+
+	before := runtime.NumGoroutine()
+	rep, err := e.RunAll()
+	if err != nil {
+		t.Fatalf("run must survive both faults: %v", err)
+	}
+
+	// Results match the reference chase solution exactly.
+	for _, rel := range []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"} {
+		got, ok := e.Cube(rel)
+		if !ok {
+			t.Fatalf("cube %s missing after degraded run", rel)
+		}
+		if !got.Equal(ref[rel], 1e-6) {
+			t.Errorf("%s differs from chase:\n%s", rel, strings.Join(got.Diff(ref[rel], 1e-6, 5), "\n"))
+		}
+	}
+
+	// The report records the transient retry...
+	if rep.Retries != 1 {
+		t.Errorf("Retries = %d, want 1\n%+v", rep.Retries, rep.Fragments)
+	}
+	var sawRetry bool
+	for _, fr := range rep.Fragments {
+		if len(fr.Attempts) >= 2 && fr.Attempts[0].Class == exlerr.Transient && fr.Attempts[0].Target == ops.TargetSQL {
+			sawRetry = true
+			if fr.Attempts[0].Backoff != dispatch.DefaultRetry.BaseDelay {
+				t.Errorf("first backoff = %v, want %v", fr.Attempts[0].Backoff, dispatch.DefaultRetry.BaseDelay)
+			}
+			if fr.Attempts[1].Attempt != 2 || fr.Attempts[1].Err != "" {
+				t.Errorf("retry attempt not recorded as success: %+v", fr.Attempts)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Errorf("no fragment records the transient SQL retry: %+v", rep.Fragments)
+	}
+
+	// ...and the panic-driven fallback of the ETL fragment.
+	if rep.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1\n%+v", rep.Fallbacks, rep.Fragments)
+	}
+	var sawFallback bool
+	for _, fr := range rep.Fragments {
+		if fr.Primary != ops.TargetETL || !fr.Degraded() {
+			continue
+		}
+		sawFallback = true
+		if !fr.Attempts[0].Panic {
+			t.Errorf("ETL attempt not recorded as panic: %+v", fr.Attempts[0])
+		}
+		if fr.Attempts[0].Class != exlerr.Fatal {
+			t.Errorf("recovered panic class = %v, want Fatal", fr.Attempts[0].Class)
+		}
+		if fr.Final == ops.TargetETL || fr.Final == "" {
+			t.Errorf("Final = %v after degradation", fr.Final)
+		}
+		if len(fr.Fallbacks) == 0 || fr.Fallbacks[0] != fr.Final {
+			t.Errorf("fallback decision not recorded: %+v", fr)
+		}
+	}
+	if !sawFallback {
+		t.Errorf("no fragment records the ETL degradation: %+v", rep.Fragments)
+	}
+
+	// Backoff used the injected sleeper, never the wall clock.
+	if len(slept) != 1 || slept[0] != dispatch.DefaultRetry.BaseDelay {
+		t.Errorf("slept = %v, want exactly one base delay", slept)
+	}
+	if len(inj.Fired()) != 1 {
+		t.Errorf("injector fired %d times, want 1", len(inj.Fired()))
+	}
+
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestRunAllContextCancelled: a cancelled context aborts the run before
+// any work and persists nothing.
+func TestRunAllContextCancelled(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 100, Regions: 2})
+	e := newGDPEngine(t, data)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunAllContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, ok := e.Cube("GDP"); ok {
+		t.Error("cancelled run persisted results")
+	}
+}
+
+// TestWithoutDegradationFailsRun: with fallback disabled, a persistently
+// failing fragment fails the whole run and nothing is stored.
+func TestWithoutDegradationFailsRun(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 100, Regions: 2})
+	inj := faults.NewInjector(faults.Fault{
+		Fragment: 0, Kind: faults.Error, Class: exlerr.Fatal,
+	})
+	e := newGDPEngine(t, data, WithoutDegradation(), WithDispatchMiddleware(inj.Middleware()))
+	if _, err := e.RunAll(); err == nil {
+		t.Fatal("fatal fragment error with degradation off must fail the run")
+	}
+	for _, rel := range []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"} {
+		if _, ok := e.Cube(rel); ok {
+			t.Errorf("failed run persisted %s", rel)
+		}
+	}
+}
+
+// TestDegradedParallelRunMatchesChase: faults and degradation compose with
+// the wave-parallel dispatcher.
+func TestDegradedParallelRunMatchesChase(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 370, Regions: 3})
+	ref := chaseReference(t, data)
+	// Every fragment's first attempt fails with a transient error.
+	var faultPlan []faults.Fault
+	for i := 0; i < 8; i++ {
+		faultPlan = append(faultPlan, faults.Fault{
+			Fragment: i, Attempt: 1, Kind: faults.Error, Class: exlerr.Transient,
+		})
+	}
+	e := newGDPEngine(t, data,
+		WithParallelDispatch(),
+		WithSleeper(func(context.Context, time.Duration) error { return nil }),
+		WithDispatchMiddleware(faults.NewInjector(faultPlan...).Middleware()))
+	rep, err := e.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Errorf("parallel run recorded no retries: %+v", rep.Fragments)
+	}
+	for _, rel := range []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"} {
+		got, ok := e.Cube(rel)
+		if !ok {
+			t.Fatalf("cube %s missing", rel)
+		}
+		if !got.Equal(ref[rel], 1e-6) {
+			t.Errorf("%s differs from chase:\n%s", rel, strings.Join(got.Diff(ref[rel], 1e-6, 5), "\n"))
+		}
+	}
+}

@@ -1,10 +1,14 @@
 package etl
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"exlengine/internal/exlerr"
 	"exlengine/internal/frame"
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
@@ -16,11 +20,34 @@ type Row []model.Value
 
 const chanCap = 128
 
+// stepHook, when set, is invoked at the start of every step goroutine.
+// It exists for deterministic fault injection (internal/faults): a hook
+// that panics simulates a crashing step, exercising the runtime's panic
+// isolation. Loaded atomically so concurrent flows race-free.
+var stepHook atomic.Pointer[func(flowID, stepName string)]
+
+// SetStepHook installs (or, with nil, removes) the step hook.
+func SetStepHook(h func(flowID, stepName string)) {
+	if h == nil {
+		stepHook.Store(nil)
+		return
+	}
+	stepHook.Store(&h)
+}
+
 // Run executes a job over the source cubes: flows run in tgd total order;
 // within a flow every step is a goroutine and rows flow through channels,
 // so "every tuple in the sources is fed into the stream and treated exactly
 // once" (Section 5.3). It returns every relation computed by the job.
 func Run(job *Job, m *mapping.Mapping, source map[string]*model.Cube) (map[string]*model.Cube, error) {
+	return RunContext(context.Background(), job, m, source)
+}
+
+// RunContext is Run under a context: cancellation aborts the streaming
+// goroutines of the active flow without leaking any of them. On error
+// (or cancellation) no partially-computed cube is returned: the result
+// map is nil and the shared store passed by the caller is untouched.
+func RunContext(ctx context.Context, job *Job, m *mapping.Mapping, source map[string]*model.Cube) (map[string]*model.Cube, error) {
 	store := make(map[string]*model.Cube, len(source))
 	for _, name := range m.Elementary {
 		if c, ok := source[name]; ok {
@@ -31,7 +58,7 @@ func Run(job *Job, m *mapping.Mapping, source map[string]*model.Cube) (map[strin
 	}
 	out := make(map[string]*model.Cube)
 	for _, f := range job.Flows {
-		c, err := runFlow(f, store, m.Schemas)
+		c, err := runFlow(ctx, f, store, m.Schemas)
 		if err != nil {
 			return nil, fmt.Errorf("etl: flow %s: %w", f.TgdID, err)
 		}
@@ -61,7 +88,7 @@ func (fe *flowErr) get() error {
 	return fe.err
 }
 
-func runFlow(f *Flow, store map[string]*model.Cube, schemas map[string]model.Schema) (*model.Cube, error) {
+func runFlow(ctx context.Context, f *Flow, store map[string]*model.Cube, schemas map[string]model.Schema) (*model.Cube, error) {
 	// Column schema per step, derived statically.
 	cols := make(map[string][]string)
 	for i := range f.Steps {
@@ -123,6 +150,13 @@ func runFlow(f *Flow, store map[string]*model.Cube, schemas map[string]model.Sch
 		return nil, fmt.Errorf("flow must have exactly one output step, found %d", outputs)
 	}
 
+	// The flow context links every step: the first failing step cancels
+	// it, which unblocks producers parked on full channels (their sends
+	// select on ctx.Done), so no goroutine outlives the flow even when a
+	// step dies mid-stream.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	fe := &flowErr{}
 	var wg sync.WaitGroup
 	var result *model.Cube
@@ -132,8 +166,19 @@ func runFlow(f *Flow, store map[string]*model.Cube, schemas map[string]model.Sch
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := runStep(f, st, cols, chans, store, schemas, &result); err != nil {
+			// Panic isolation: a crashing step becomes a typed error and
+			// cancels the flow instead of deadlocking it. runStep's own
+			// deferred close has already run by the time we recover, so
+			// downstream consumers still see end-of-stream.
+			defer func() {
+				if r := recover(); r != nil {
+					fe.set(exlerr.Recovered(r, debug.Stack()))
+					cancel()
+				}
+			}()
+			if err := runStep(fctx, f, st, cols, chans, store, schemas, &result); err != nil {
 				fe.set(err)
+				cancel()
 			}
 		}()
 	}
@@ -147,26 +192,35 @@ func runFlow(f *Flow, store map[string]*model.Cube, schemas map[string]model.Sch
 	return result, nil
 }
 
-// drain empties a channel (used on early exit so upstream steps never
-// block forever).
-func drain(ch <-chan Row) {
-	for range ch {
+// send delivers a row downstream, aborting when the flow is cancelled so
+// producers never block forever on a consumer that died.
+func send(ctx context.Context, out chan<- Row, r Row) error {
+	select {
+	case out <- r:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan Row,
+func runStep(ctx context.Context, f *Flow, st *Step, cols map[string][]string, chans map[string]chan Row,
 	store map[string]*model.Cube, schemas map[string]model.Schema, result **model.Cube) error {
 
 	out := chans[st.Name] // nil for the output step
-	closeOut := func() {
+	// Closing the output channel unconditionally on exit — error, panic or
+	// normal completion — guarantees downstream consumers always observe
+	// end-of-stream and can never block on a dead producer.
+	defer func() {
 		if out != nil {
 			close(out)
 		}
+	}()
+	if hp := stepHook.Load(); hp != nil {
+		(*hp)(f.TgdID, st.Name)
 	}
 
 	switch st.Type {
 	case TableInput:
-		defer closeOut()
 		cube, ok := store[st.Table]
 		if !ok {
 			return fmt.Errorf("table %s not available", st.Table)
@@ -216,13 +270,14 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 				row[i] = v
 			}
 			if !bad {
-				out <- row
+				if err := send(ctx, out, row); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
 
 	case MergeJoin:
-		defer closeOut()
 		leftCh, rightCh := chans[st.Left], chans[st.Right]
 		leftCols, rightCols := cols[st.Left], cols[st.Right]
 		lk := make([]int, len(st.Keys))
@@ -231,8 +286,6 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 			lk[i] = indexOf(leftCols, k)
 			rk[i] = indexOf(rightCols, k)
 			if lk[i] < 0 || rk[i] < 0 {
-				drain(leftCh)
-				drain(rightCh)
 				return fmt.Errorf("join key %s missing", k)
 			}
 		}
@@ -279,13 +332,14 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 				for _, j := range keep {
 					nr = append(nr, r[j])
 				}
-				out <- nr
+				if err := send(ctx, out, nr); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
 
 	case Calculator:
-		defer closeOut()
 		in := chans[f.Inputs(st.Name)[0]]
 		myCols := cols[st.Name]
 		for row := range in {
@@ -295,7 +349,6 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 			for _, c := range st.Calcs {
 				v, err := frame.Eval(c.Expr(), myCols[:len(nr)], nr)
 				if err != nil {
-					drain(in)
 					return err
 				}
 				if !v.IsValid() {
@@ -306,26 +359,25 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 				nr = append(nr, v)
 			}
 			if !failed {
-				out <- nr
+				if err := send(ctx, out, nr); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
 
 	case Aggregator:
-		defer closeOut()
 		in := chans[f.Inputs(st.Name)[0]]
 		inCols := cols[f.Inputs(st.Name)[0]]
 		ki := make([]int, len(st.Keys))
 		for i, k := range st.Keys {
 			ki[i] = indexOf(inCols, k)
 			if ki[i] < 0 {
-				drain(in)
 				return fmt.Errorf("group key %s missing", k)
 			}
 		}
 		vi := indexOf(inCols, st.ValueField)
 		if vi < 0 {
-			drain(in)
 			return fmt.Errorf("value field %s missing", st.ValueField)
 		}
 		type group struct {
@@ -340,7 +392,6 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 			}
 			v, ok := row[vi].AsNumber()
 			if !ok {
-				drain(in)
 				return fmt.Errorf("non-numeric aggregation input %v", row[vi])
 			}
 			k := model.EncodeKey(keyBuf)
@@ -348,7 +399,6 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 			if !okG {
 				agg, err := ops.NewAggregator(st.Agg)
 				if err != nil {
-					drain(in)
 					return err
 				}
 				g = &group{key: append([]model.Value(nil), keyBuf...), agg: agg}
@@ -363,18 +413,18 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 		sort.Strings(keys)
 		for _, k := range keys {
 			g := groups[k]
-			out <- append(append(Row(nil), g.key...), model.Num(g.agg.Result()))
+			if err := send(ctx, out, append(append(Row(nil), g.key...), model.Num(g.agg.Result()))); err != nil {
+				return err
+			}
 		}
 		return nil
 
 	case SeriesCalc:
-		defer closeOut()
 		in := chans[f.Inputs(st.Name)[0]]
 		inCols := cols[f.Inputs(st.Name)[0]]
 		ti := indexOf(inCols, st.TimeField)
 		vi := indexOf(inCols, st.ValueField)
 		if ti < 0 || vi < 0 {
-			drain(in)
 			return fmt.Errorf("series fields %s, %s missing", st.TimeField, st.ValueField)
 		}
 		type point struct {
@@ -385,12 +435,10 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 		for row := range in {
 			p, ok := row[ti].AsPeriod()
 			if !ok {
-				drain(in)
 				return fmt.Errorf("non-period time value %v", row[ti])
 			}
 			v, ok := row[vi].AsNumber()
 			if !ok {
-				drain(in)
 				return fmt.Errorf("non-numeric series value %v", row[vi])
 			}
 			pts = append(pts, point{p, v})
@@ -413,12 +461,13 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 			return err
 		}
 		for i, pt := range pts {
-			out <- Row{model.Per(pt.p), model.Num(res[i])}
+			if err := send(ctx, out, Row{model.Per(pt.p), model.Num(res[i])}); err != nil {
+				return err
+			}
 		}
 		return nil
 
 	case PadJoin:
-		defer closeOut()
 		leftCh, rightCh := chans[st.Left], chans[st.Right]
 		leftCols, rightCols := cols[st.Left], cols[st.Right]
 		type entry struct {
@@ -430,13 +479,11 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 			for i, k := range st.Keys {
 				ki[i] = indexOf(colNames, k)
 				if ki[i] < 0 {
-					drain(ch)
 					return nil, fmt.Errorf("pad join key %s missing", k)
 				}
 			}
 			vi := indexOf(colNames, valField)
 			if vi < 0 {
-				drain(ch)
 				return nil, fmt.Errorf("pad join value field %s missing", valField)
 			}
 			out := make(map[string]entry)
@@ -463,7 +510,6 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 		}
 		mr, err := collect(rightCh, rightCols, st.RightField)
 		if err != nil {
-			drain(leftCh)
 			return err
 		}
 		ml, err := collect(leftCh, leftCols, st.ValueField)
@@ -482,8 +528,7 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 				}
 				return err
 			}
-			out <- append(append(Row(nil), key...), model.Num(v))
-			return nil
+			return send(ctx, out, append(append(Row(nil), key...), model.Num(v)))
 		}
 		for k, e := range ml {
 			r := st.Default
@@ -509,14 +554,12 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 		inCols := cols[f.Inputs(st.Name)[0]]
 		sch, ok := schemas[st.Table]
 		if !ok {
-			drain(in)
 			return fmt.Errorf("no schema for output %s", st.Table)
 		}
 		idx := make([]int, len(st.Fields))
 		for i, fld := range st.Fields {
 			idx[i] = indexOf(inCols, fld)
 			if idx[i] < 0 {
-				drain(in)
 				return fmt.Errorf("output field %s missing from stream", fld)
 			}
 		}
@@ -538,19 +581,21 @@ func runStep(f *Flow, st *Step, cols map[string][]string, chans map[string]chan 
 			}
 			m, ok := mv.AsNumber()
 			if !ok {
-				drain(in)
 				return fmt.Errorf("non-numeric measure %v", mv)
 			}
 			if err := cube.Put(dims, m); err != nil {
-				drain(in)
 				return err
 			}
+		}
+		// Publish the cube only after the stream completed: a flow that
+		// errors never exposes a partially-written result.
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		*result = cube
 		return nil
 
 	default:
-		closeOut()
 		return fmt.Errorf("unknown step type %s", st.Type)
 	}
 }

@@ -1,0 +1,121 @@
+// Package exlerr defines the typed error taxonomy of the fault-tolerant
+// dispatcher. Every failure surfaced by a target engine is classified as
+// Transient (worth retrying on the same target), Fatal (the target cannot
+// execute this fragment — degrade to another target), or EgdViolation (the
+// data itself violates a functionality egd, so every target would fail the
+// same way and neither retry nor fallback can help).
+package exlerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"exlengine/internal/model"
+)
+
+// Class partitions failures by the recovery action they admit.
+type Class int
+
+// Failure classes, ordered by increasing permanence.
+const (
+	// Transient failures are expected to succeed on retry (connection
+	// resets, snapshot races, overload shedding).
+	Transient Class = iota
+	// Fatal failures are permanent on this target (translation gaps,
+	// panics, missing native support) but another target may succeed.
+	Fatal
+	// EgdViolation means the source data violates a functionality egd;
+	// the failure is a property of the data-exchange setting, not of the
+	// engine, so no retry or fallback can repair it.
+	EgdViolation
+)
+
+// String renders the class for reports and logs.
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Fatal:
+		return "fatal"
+	case EgdViolation:
+		return "egd-violation"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Error attaches a Class to an underlying error.
+type Error struct {
+	Class Class
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Class.String() + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// New wraps err with an explicit class. A nil err returns nil.
+func New(class Class, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Class: class, Err: err}
+}
+
+// Transientf builds a classified transient error from a format string.
+func Transientf(format string, args ...any) error {
+	return &Error{Class: Transient, Err: fmt.Errorf(format, args...)}
+}
+
+// Fatalf builds a classified fatal error from a format string.
+func Fatalf(format string, args ...any) error {
+	return &Error{Class: Fatal, Err: fmt.Errorf(format, args...)}
+}
+
+// PanicError is a panic recovered from a target engine or an ETL step
+// goroutine, converted into an ordinary (Fatal) error.
+type PanicError struct {
+	Value any    // the value passed to panic()
+	Stack []byte // the goroutine stack at recovery time
+}
+
+// Error implements the error interface.
+func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
+
+// Recovered converts a recover() value into a classified Fatal error. The
+// stack should come from runtime/debug.Stack at the recovery site.
+func Recovered(v any, stack []byte) error {
+	return &Error{Class: Fatal, Err: &PanicError{Value: v, Stack: stack}}
+}
+
+// IsPanic reports whether the error records a recovered panic.
+func IsPanic(err error) bool {
+	var p *PanicError
+	return errors.As(err, &p)
+}
+
+// IsCancellation reports whether the error stems from context
+// cancellation or deadline expiry. Cancellation is not a target failure:
+// the dispatcher must stop, not retry or degrade.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ClassOf classifies an arbitrary error: explicit Error wrappers keep
+// their class, functionality-egd violations (model.ErrFunctional, which
+// chase.ErrChaseFailure aliases) are EgdViolation, and everything else —
+// including unwrapped engine errors — defaults to Fatal, the conservative
+// choice (no blind retry of unknown failures).
+func ClassOf(err error) Class {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Class
+	}
+	if errors.Is(err, model.ErrFunctional) {
+		return EgdViolation
+	}
+	return Fatal
+}

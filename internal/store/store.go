@@ -95,6 +95,43 @@ func (s *Store) Put(c *model.Cube, asOf time.Time) error {
 	return nil
 }
 
+// PutAll stores a new version of every cube in the map, all valid from
+// asOf, atomically: every cube is validated (schema compatibility and
+// version ordering) before any write happens, so a rejected cube leaves
+// the store exactly as it was — the snapshot-isolation guarantee the
+// dispatcher relies on when a run partially fails.
+func (s *Store) PutAll(cubes map[string]*model.Cube, asOf time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(cubes))
+	for n := range cubes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Validate everything first.
+	for _, name := range names {
+		c := cubes[name]
+		if c == nil {
+			return fmt.Errorf("store: nil cube %s", name)
+		}
+		if old, ok := s.schemas[name]; ok && !old.SameDims(c.Schema()) {
+			return fmt.Errorf("store: cube %s dimensionality changed", name)
+		}
+		if vs := s.cubes[name]; len(vs) > 0 && vs[len(vs)-1].asOf.After(asOf) {
+			return fmt.Errorf("store: version for %s at %v is older than the latest (%v)", name, asOf, vs[len(vs)-1].asOf)
+		}
+	}
+	// Commit.
+	for _, name := range names {
+		c := cubes[name]
+		if _, ok := s.schemas[name]; !ok {
+			s.schemas[name] = c.Schema()
+		}
+		s.cubes[name] = append(s.cubes[name], version{asOf: asOf, cube: c.Clone()})
+	}
+	return nil
+}
+
 // Get returns the current (latest) version of the cube.
 func (s *Store) Get(name string) (*model.Cube, bool) {
 	s.mu.RLock()
