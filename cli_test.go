@@ -4,6 +4,7 @@ package exlengine
 // into a temporary directory and driven the way a user would drive it.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -191,6 +192,8 @@ func TestExlshSession(t *testing.T) {
 		"\\run sql",
 		"\\sql",
 		"\\tgds repl_002",
+		"\\trace",
+		"\\metrics",
 		"\\help",
 		"\\nosuch",
 		"\\quit",
@@ -211,6 +214,8 @@ func TestExlshSession(t *testing.T) {
 		"recalculated 2 cubes",
 		"INSERT INTO C", // \sql shows the latest program (repl_003)
 		"A → B(cumsum(A))",
+		"dispatch",                  // \trace shows the last run's span tree
+		"counter engine_runs_total", // \metrics accumulates over the session
 		"unknown command",
 	} {
 		if !strings.Contains(text, frag) {
@@ -230,5 +235,66 @@ func TestExlbenchQuickArtifacts(t *testing.T) {
 	}
 	if err := exec.Command(filepath.Join(bin, "exlbench"), "-run", "e99").Run(); err == nil {
 		t.Error("unknown experiment must fail")
+	}
+}
+
+// TestExlrunObservability drives -trace, -metrics, -report and -v on a
+// real run and checks the stdout/stderr contract: all diagnostics go to
+// stderr, stdout stays clean for data.
+func TestExlrunObservability(t *testing.T) {
+	bin := buildTools(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.exl")
+	if err := os.WriteFile(src, []byte(cliProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pdr := "d,r,p\n2001-03-30,north,10\n2001-03-31,north,20\n"
+	rgdppc := "q,r,g\n2001-Q1,north,2\n"
+	if err := os.WriteFile(filepath.Join(dir, "PDR.csv"), []byte(pdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "RGDPPC.csv"), []byte(rgdppc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) (stdout, stderr string) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, "exlrun"),
+			append([]string{"-program", src, "-data", dir, "-out", filepath.Join(dir, "out")}, args...)...)
+		var so, se strings.Builder
+		cmd.Stdout, cmd.Stderr = &so, &se
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("exlrun %v: %v\nstderr:\n%s", args, err, se.String())
+		}
+		return so.String(), se.String()
+	}
+
+	// Tree trace: the nested pipeline spans appear on stderr.
+	stdout, stderr := run("-trace", "-metrics", "-report", "-v")
+	if stdout != "" {
+		t.Errorf("stdout must stay clean for data, got:\n%s", stdout)
+	}
+	for _, frag := range []string{
+		"compile", "run", "determine", "dispatch", "fragment", "attempt", "persist",
+		"counter engine_runs_total 1",
+		"fault tolerance:",
+		"plan:",
+	} {
+		if !strings.Contains(stderr, frag) {
+			t.Errorf("stderr missing %q:\n%s", frag, stderr)
+		}
+	}
+
+	// JSON trace: every non-metric stderr line before the report is a
+	// JSON object with a span name.
+	_, stderr = run("-trace=json")
+	if !strings.Contains(stderr, `"name":"run"`) || !strings.Contains(stderr, `"name":"dispatch"`) {
+		t.Errorf("-trace=json stderr:\n%s", stderr)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stderr), "\n") {
+		var span map[string]any
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Errorf("trace line is not JSON: %q (%v)", line, err)
+		}
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"exlengine/internal/mapping"
 	"exlengine/internal/matlabgen"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 	"exlengine/internal/rgen"
 	"exlengine/internal/sqlengine"
@@ -127,7 +129,10 @@ func e4() {
 }
 
 func e5() {
-	eng := engine.New(engine.WithParallelDispatch())
+	tracer := obs.NewTracer()
+	metrics := obs.NewRegistry()
+	eng := engine.New(engine.WithParallelDispatch(),
+		engine.WithTracer(tracer), engine.WithMetrics(metrics))
 	if err := eng.RegisterProgram("gdp", workload.GDPProgram); err != nil {
 		panic(err)
 	}
@@ -142,7 +147,7 @@ func e5() {
 			panic(err)
 		}
 	}
-	rep, err := eng.RunAll()
+	rep, err := eng.Run(context.Background())
 	if err != nil {
 		panic(err)
 	}
@@ -151,6 +156,24 @@ func e5() {
 		fmt.Printf("  dispatched to %-6s: %v\n", s.Target, s.Cubes)
 	}
 	fmt.Printf("elapsed: %v\n", rep.Elapsed.Round(time.Millisecond))
+
+	// Per-phase timings, read off the span tree the run recorded.
+	fmt.Println("per-phase timings (from the trace):")
+	for _, phase := range []string{"compile", "determine", "dispatch", "persist"} {
+		var total time.Duration
+		var n int
+		for _, root := range tracer.Roots() {
+			for _, s := range root.FindAll(phase) {
+				total += s.Dur
+				n++
+			}
+		}
+		if n > 0 {
+			fmt.Printf("  %-10s %10.3f ms\n", phase, float64(total.Microseconds())/1000)
+		}
+	}
+	fmt.Println("metrics:")
+	metrics.WriteText(os.Stdout)
 }
 
 // timeIt reports the best of three runs.

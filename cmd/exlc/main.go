@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	exlc -emit tgds|sql|r|matlab|etl|summary [-normalized] program.exl
+//	exlc -emit tgds|sql|r|matlab|etl|summary [-normalized] [-trace] program.exl
 //
-// With no file argument the program is read from standard input.
+// With no file argument the program is read from standard input. -trace
+// prints the compilation's span tree (parse → analyze → generate) to
+// stderr.
 package main
 
 import (
@@ -16,8 +18,8 @@ import (
 	"io"
 	"os"
 
+	"exlengine"
 	"exlengine/internal/etl"
-	"exlengine/internal/exl"
 	"exlengine/internal/mapping"
 	"exlengine/internal/matlabgen"
 	"exlengine/internal/rgen"
@@ -28,25 +30,25 @@ func main() {
 	emit := flag.String("emit", "tgds", "artifact to emit: tgds, sql, r, matlab, etl, summary")
 	normalized := flag.Bool("normalized", false, "skip the fusion pass (one tgd per operator)")
 	views := flag.Bool("views", false, "emit auxiliary relations as SQL views (with -emit sql)")
+	trace := flag.Bool("trace", false, "print the compilation's span tree to stderr")
 	flag.Parse()
 
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := exl.Parse(src)
-	if err != nil {
-		fatal(err)
-	}
-	a, err := exl.Analyze(prog, nil)
-	if err != nil {
-		fatal(err)
-	}
-	var m *mapping.Mapping
+	var copts []exlengine.CompileOption
 	if *normalized {
-		m, err = mapping.GenerateNormalized(a)
-	} else {
-		m, err = mapping.Generate(a)
+		copts = append(copts, exlengine.WithoutFusion())
+	}
+	var tracer *exlengine.Tracer
+	if *trace {
+		tracer = exlengine.NewTracer()
+		copts = append(copts, exlengine.CompileTraced(tracer))
+	}
+	m, err := exlengine.Compile(src, nil, copts...)
+	if *trace {
+		exlengine.WriteTraceTree(os.Stderr, tracer)
 	}
 	if err != nil {
 		fatal(err)

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	exlrun -program program.exl -data dir [-target auto|chase|sql|etl|frame]
-//	       [-out dir] [-report] [-timeout d] [-fragment-timeout d]
-//	       [-retries n] [-no-fallback]
+//	       [-out dir] [-report] [-trace[=json]] [-metrics]
+//	       [-timeout d] [-fragment-timeout d] [-retries n] [-no-fallback]
 //
 // The data directory must contain one <CUBE>.csv file per elementary cube,
 // with a header naming the dimensions (in declaration order) followed by
@@ -18,6 +18,13 @@
 // (chase last). -report prints the per-fragment record of every attempt,
 // retry and fallback; -no-fallback fails fast instead. Ctrl-C cancels the
 // run cleanly without writing partial results.
+//
+// Runs are observable: -trace prints the span tree of the whole pipeline
+// (compile → determine → dispatch → fragments → attempts → target
+// internals) as an indented tree, or as JSON Lines with -trace=json;
+// -metrics prints the run's counters and latency histograms. All
+// diagnostics (-v, -report, -trace, -metrics) go to stderr, leaving
+// stdout for data.
 package main
 
 import (
@@ -32,8 +39,43 @@ import (
 	"exlengine/internal/dispatch"
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 )
+
+// traceFlag implements -trace[=json]: a boolean flag that also accepts
+// an output format as its value.
+type traceFlag struct {
+	on   bool
+	json bool
+}
+
+func (f *traceFlag) String() string {
+	switch {
+	case f.on && f.json:
+		return "json"
+	case f.on:
+		return "true"
+	default:
+		return "false"
+	}
+}
+
+func (f *traceFlag) Set(s string) error {
+	switch s {
+	case "", "true", "tree":
+		f.on, f.json = true, false
+	case "json":
+		f.on, f.json = true, true
+	case "false":
+		f.on, f.json = false, false
+	default:
+		return fmt.Errorf("invalid trace format %q (want tree or json)", s)
+	}
+	return nil
+}
+
+func (f *traceFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	programPath := flag.String("program", "", "EXL program file")
@@ -42,6 +84,9 @@ func main() {
 	outDir := flag.String("out", "", "output directory (default: the data directory)")
 	verbose := flag.Bool("v", false, "print the run report")
 	report := flag.Bool("report", false, "print the fault-tolerance report (attempts, retries, fallbacks)")
+	var trace traceFlag
+	flag.Var(&trace, "trace", "print the run's span tree to stderr (-trace=json for JSON Lines)")
+	metrics := flag.Bool("metrics", false, "print the run's metrics to stderr")
 	timeout := flag.Duration("timeout", 0, "overall run timeout (0 = none)")
 	fragTimeout := flag.Duration("fragment-timeout", 0, "per-fragment attempt timeout (0 = none)")
 	retries := flag.Int("retries", dispatch.DefaultRetry.MaxAttempts, "attempts per target for transient failures")
@@ -71,6 +116,16 @@ func main() {
 	}
 	if *fragTimeout > 0 {
 		opts = append(opts, engine.WithFragmentTimeout(*fragTimeout))
+	}
+	var tracer *obs.Tracer
+	if trace.on {
+		tracer = obs.NewTracer()
+		opts = append(opts, engine.WithTracer(tracer))
+	}
+	var registry *obs.Registry
+	if *metrics {
+		registry = obs.NewRegistry()
+		opts = append(opts, engine.WithMetrics(registry))
 	}
 	eng := engine.New(opts...)
 	if err := eng.RegisterProgram("main", string(src)); err != nil {
@@ -108,21 +163,33 @@ func main() {
 		defer cancel()
 	}
 
-	var rep *engine.Report
-	if *target == "auto" {
-		rep, err = eng.RunAllContext(ctx)
-	} else {
-		rep, err = eng.RunAllOnContext(ctx, ops.Target(*target))
+	var runOpts []engine.RunOption
+	if *target != "auto" {
+		runOpts = append(runOpts, engine.RunOn(ops.Target(*target)))
+	}
+	rep, err := eng.Run(ctx, runOpts...)
+
+	// Diagnostics go out even when the run failed: the trace and the
+	// metrics of a failed run are exactly what one wants to look at.
+	if trace.on {
+		if trace.json {
+			obs.WriteJSONL(os.Stderr, tracer)
+		} else {
+			obs.WriteTree(os.Stderr, tracer)
+		}
+	}
+	if *metrics {
+		registry.WriteText(os.Stderr)
 	}
 	if err != nil {
 		fatal(err)
 	}
 	if *verbose {
-		fmt.Printf("plan: %v\n", rep.Plan)
+		fmt.Fprintf(os.Stderr, "plan: %v\n", rep.Plan)
 		for _, s := range rep.Subgraphs {
-			fmt.Printf("  %-6s %v\n", s.Target, s.Cubes)
+			fmt.Fprintf(os.Stderr, "  %-6s %v\n", s.Target, s.Cubes)
 		}
-		fmt.Printf("elapsed: %v\n", rep.Elapsed)
+		fmt.Fprintf(os.Stderr, "elapsed: %v\n", rep.Elapsed)
 	}
 	if *report {
 		printReport(rep)
@@ -143,15 +210,16 @@ func main() {
 			fatal(err)
 		}
 		if *verbose {
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
 }
 
-// printReport renders the fault-tolerance record of the run: one line per
-// fragment plus one per attempt that did not succeed first try.
+// printReport renders the fault-tolerance record of the run to stderr:
+// one line per fragment plus one per attempt that did not succeed first
+// try.
 func printReport(rep *engine.Report) {
-	fmt.Printf("fault tolerance: %d fragment(s), %d retry(s), %d fallback(s)\n",
+	fmt.Fprintf(os.Stderr, "fault tolerance: %d fragment(s), %d retry(s), %d fallback(s)\n",
 		len(rep.Fragments), rep.Retries, rep.Fallbacks)
 	for i := range rep.Fragments {
 		fr := &rep.Fragments[i]
@@ -161,7 +229,7 @@ func printReport(rep *engine.Report) {
 		} else if fr.Degraded() {
 			status = fmt.Sprintf("%s (degraded from %s)", fr.Final, fr.Primary)
 		}
-		fmt.Printf("  fragment %d %v: %s, %d attempt(s), %v\n",
+		fmt.Fprintf(os.Stderr, "  fragment %d %v: %s, %d attempt(s), %v\n",
 			fr.Index, fr.Cubes, status, len(fr.Attempts), fr.Elapsed)
 		for _, at := range fr.Attempts {
 			if at.Err == "" {
@@ -174,7 +242,7 @@ func printReport(rep *engine.Report) {
 			if at.Backoff > 0 {
 				line += fmt.Sprintf(" [backoff %v]", at.Backoff)
 			}
-			fmt.Println(line)
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 }

@@ -13,12 +13,13 @@
 //	exl> \sql
 //	exl> \quit
 //
-// Commands: \load, \show, \cubes, \programs, \run, \tgds, \sql, \r,
-// \matlab, \etl, \help, \quit.
+// Commands: \load, \show, \cubes, \programs, \run, \trace, \metrics,
+// \tgds, \sql, \r, \matlab, \etl, \help, \quit.
 package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 )
 
@@ -42,13 +44,22 @@ type shell struct {
 	eng      *engine.Engine
 	counter  int
 	lastProg string
+	// tracer holds the span tree of the most recent compilation or run
+	// (\trace shows it); metrics accumulates over the whole session.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 func newShell(in io.Reader, out io.Writer) *shell {
+	tracer := obs.NewTracer()
+	metrics := obs.NewRegistry()
 	return &shell{
 		in:  bufio.NewScanner(in),
 		out: out,
-		eng: engine.New(engine.WithParallelDispatch()),
+		eng: engine.New(engine.WithParallelDispatch(),
+			engine.WithTracer(tracer), engine.WithMetrics(metrics)),
+		tracer:  tracer,
+		metrics: metrics,
 	}
 }
 
@@ -84,6 +95,7 @@ func (sh *shell) statement(line string) {
 		sh.printf("error: %v\n", err)
 		return
 	}
+	sh.tracer.Reset() // \trace shows this statement's compile + run
 	sh.counter++
 	name := fmt.Sprintf("repl_%03d", sh.counter)
 	if err := sh.eng.RegisterProgram(name, line); err != nil {
@@ -97,7 +109,7 @@ func (sh *shell) statement(line string) {
 	}
 	// Recalculate the newly derived cubes right away.
 	for _, s := range prog.Stmts {
-		if _, err := sh.eng.Recalculate(s.Lhs); err != nil {
+		if _, err := sh.eng.Run(context.Background(), engine.RunChanged(s.Lhs)); err != nil {
 			sh.printf("error computing %s: %v\n", s.Lhs, err)
 			continue
 		}
@@ -123,6 +135,8 @@ commands:
   \cubes                  list declared cubes
   \programs               list registered programs
   \run [target]           recalculate everything (chase|sql|etl|frame|auto)
+  \trace [json]           show the span tree of the last statement or run
+  \metrics                show the session's accumulated metrics
   \tgds | \sql | \r | \matlab | \etl [PROG]  show the artifact of a program
   \quit
 `)
@@ -176,13 +190,12 @@ commands:
 		if len(fields) > 1 {
 			target = fields[1]
 		}
-		var rep *engine.Report
-		var err error
-		if target == "auto" {
-			rep, err = sh.eng.RunAll()
-		} else {
-			rep, err = sh.eng.RunAllOn(ops.Target(target))
+		var runOpts []engine.RunOption
+		if target != "auto" {
+			runOpts = append(runOpts, engine.RunOn(ops.Target(target)))
 		}
+		sh.tracer.Reset() // \trace shows this run
+		rep, err := sh.eng.Run(context.Background(), runOpts...)
 		if err != nil {
 			sh.printf("error: %v\n", err)
 			return false
@@ -191,6 +204,18 @@ commands:
 			sh.printf("  %-6s %v\n", s.Target, s.Cubes)
 		}
 		sh.printf("recalculated %d cubes in %v\n", len(rep.Plan), rep.Elapsed.Round(time.Millisecond))
+	case "\\trace":
+		if len(sh.tracer.Roots()) == 0 {
+			sh.printf("no trace yet (run a statement or \\run first)\n")
+			return false
+		}
+		if len(fields) > 1 && fields[1] == "json" {
+			obs.WriteJSONL(sh.out, sh.tracer)
+		} else {
+			obs.WriteTree(sh.out, sh.tracer)
+		}
+	case "\\metrics":
+		sh.metrics.WriteText(sh.out)
 	case "\\tgds", "\\sql", "\\r", "\\matlab", "\\etl":
 		prog := sh.lastProg
 		if len(fields) > 1 {

@@ -1,6 +1,7 @@
 package exlengine_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,7 +58,7 @@ CUM := cumsum(SALES)
 	if err := eng.PutCube(sales, time.Unix(0, 0)); err != nil {
 		panic(err)
 	}
-	if _, err := eng.RunAll(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		panic(err)
 	}
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -61,7 +62,7 @@ goods,0.20
 		log.Fatal(err)
 	}
 
-	if _, err := eng.RunAllAt(t0); err != nil {
+	if _, err := eng.Run(context.Background(), exlengine.RunAt(t0)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -89,7 +90,7 @@ goods,0.17
 	if err := eng.LoadCSV("WEIGHT", strings.NewReader(revised), t1); err != nil {
 		log.Fatal(err)
 	}
-	report, err := eng.RecalculateAt(t1, "WEIGHT")
+	report, err := eng.Run(context.Background(), exlengine.RunChanged("WEIGHT"), exlengine.RunAt(t1))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,7 +45,7 @@ func main() {
 		if err := eng.PutCube(data, time.Unix(0, 0)); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := eng.RunAllOn(target); err != nil {
+		if _, err := eng.Run(context.Background(), exlengine.RunOn(target)); err != nil {
 			log.Fatalf("%s: %v", target, err)
 		}
 		growth, _ := eng.Cube("GROWTH")

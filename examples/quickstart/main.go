@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -75,7 +76,7 @@ func main() {
 	fmt.Println(tgds)
 
 	// Run: determination -> translation -> dispatch to target engines.
-	report, err := eng.RunAll()
+	report, err := eng.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -59,7 +60,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := eng.RunAll()
+	report, err := eng.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

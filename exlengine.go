@@ -22,17 +22,31 @@
 //	_ = eng.RegisterProgram("gdp", gdpSource)
 //	_ = eng.PutCube(pdr, time.Now())
 //	_ = eng.PutCube(rgdppc, time.Now())
-//	report, _ := eng.RunAll()
+//	report, _ := eng.Run(context.Background())
 //	gdp, _ := eng.Cube("GDP")
+//
+// Runs are observable: attach a Tracer and a Metrics registry and every
+// phase — compile, determination, per-fragment dispatch with retries and
+// fallbacks, target execution — records spans and counters.
+//
+//	tr, mx := exlengine.NewTracer(), exlengine.NewMetrics()
+//	eng := exlengine.New(exlengine.WithTracer(tr), exlengine.WithMetrics(mx))
+//	// ... register, load, run ...
+//	exlengine.WriteTraceTree(os.Stderr, tr)
+//	mx.WriteText(os.Stderr)
 package exlengine
 
 import (
+	"context"
+	"io"
+
 	"exlengine/internal/dispatch"
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
 	"exlengine/internal/exlerr"
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 )
 
@@ -43,11 +57,63 @@ type (
 	Engine = engine.Engine
 	// Option configures an Engine.
 	Option = engine.Option
+	// RunOption configures one Engine.Run call.
+	RunOption = engine.RunOption
 	// Report describes what a run recalculated and where, including the
 	// fault-tolerance record (attempts, retries, fallbacks).
 	Report = engine.Report
 	// SubgraphInfo is one dispatched fragment of a run.
 	SubgraphInfo = engine.SubgraphInfo
+)
+
+// Observability types.
+type (
+	// Tracer collects span trees from traced compilations and runs.
+	Tracer = obs.Tracer
+	// Span is one node of a trace: a named, timed pipeline step.
+	Span = obs.Span
+	// Metrics is a registry of counters, gauges and latency histograms.
+	Metrics = obs.Registry
+	// Attr is one key/value span attribute.
+	Attr = obs.Attr
+)
+
+// NewTracer returns an empty tracer, ready to pass to WithTracer,
+// RunTraced or CompileTraced.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an empty metrics registry, ready to pass to
+// WithMetrics or RunMetered.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteTraceTree renders the tracer's spans as an indented tree, one
+// line per span with duration, attributes and error class.
+func WriteTraceTree(w io.Writer, t *Tracer) error { return obs.WriteTree(w, t) }
+
+// WriteTraceJSONL writes the tracer's spans as JSON Lines, one span
+// object per line in pre-order.
+func WriteTraceJSONL(w io.Writer, t *Tracer) error { return obs.WriteJSONL(w, t) }
+
+// Observability options.
+var (
+	// WithTracer attaches a tracer to every compile and run of an engine.
+	WithTracer = engine.WithTracer
+	// WithMetrics attaches a metrics registry to every run of an engine.
+	WithMetrics = engine.WithMetrics
+)
+
+// Run options for Engine.Run.
+var (
+	// RunChanged restricts the run to the consequences of changed cubes.
+	RunChanged = engine.RunChanged
+	// RunAt stamps the run's results with an explicit version timestamp.
+	RunAt = engine.RunAt
+	// RunOn forces the whole run onto one fixed target system.
+	RunOn = engine.RunOn
+	// RunTraced records this run's spans into a per-call tracer.
+	RunTraced = engine.RunTraced
+	// RunMetered accumulates this run's metrics into a per-call registry.
+	RunMetered = engine.RunMetered
 )
 
 // Fault-tolerance types.
@@ -174,20 +240,70 @@ var (
 	ParsePeriod  = model.ParsePeriod
 )
 
+// compileConfig collects the settings of one Compile call.
+type compileConfig struct {
+	fusion bool
+	tracer *Tracer
+}
+
+// CompileOption configures one Compile call.
+type CompileOption func(*compileConfig)
+
+// WithoutFusion disables the fusion pass: every statement is decomposed
+// into single-operator tgds over auxiliary cubes (the paper's normalized
+// translation).
+func WithoutFusion() CompileOption {
+	return func(c *compileConfig) { c.fusion = false }
+}
+
+// CompileTraced records the compilation's span tree (compile →
+// parse/analyze/generate) into t.
+func CompileTraced(t *Tracer) CompileOption {
+	return func(c *compileConfig) { c.tracer = t }
+}
+
 // Compile parses and analyzes an EXL program (with optional external cube
-// schemas) and generates its fused schema mapping — the paper's Section 4
-// pipeline without execution. Use it to inspect tgds or feed the
-// translators directly.
-func Compile(src string, external map[string]Schema) (*Mapping, error) {
+// schemas) and generates its schema mapping — the paper's Section 4
+// pipeline without execution, fused unless WithoutFusion is given. Use it
+// to inspect tgds or feed the translators directly.
+func Compile(src string, external map[string]Schema, opts ...CompileOption) (*Mapping, error) {
+	cfg := compileConfig{fusion: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx := context.Background()
+	if cfg.tracer != nil {
+		ctx = obs.ContextWithTracer(ctx, cfg.tracer)
+	}
+	ctx, span := obs.StartSpan(ctx, "compile", obs.Bool("fusion", cfg.fusion))
+
+	_, pspan := obs.StartSpan(ctx, "parse")
 	prog, err := exl.Parse(src)
+	pspan.EndErr(err)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
+	_, aspan := obs.StartSpan(ctx, "analyze")
 	a, err := exl.Analyze(prog, external)
+	aspan.EndErr(err)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
-	return mapping.Generate(a)
+	_, gspan := obs.StartSpan(ctx, "generate")
+	var m *Mapping
+	if cfg.fusion {
+		m, err = mapping.Generate(a)
+	} else {
+		m, err = mapping.GenerateNormalized(a)
+	}
+	if err == nil {
+		gspan.SetAttr(obs.Int("tgds", len(m.Tgds)))
+	}
+	gspan.EndErr(err)
+	span.EndErr(err)
+	return m, err
 }
 
 // Validate parses and type-checks an EXL program without generating a
@@ -205,14 +321,8 @@ func Validate(src string, external map[string]Schema) error {
 
 // CompileNormalized is Compile without the fusion pass: every statement is
 // decomposed into single-operator tgds over auxiliary cubes.
+//
+// Deprecated: use Compile(src, external, WithoutFusion()).
 func CompileNormalized(src string, external map[string]Schema) (*Mapping, error) {
-	prog, err := exl.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	a, err := exl.Analyze(prog, external)
-	if err != nil {
-		return nil, err
-	}
-	return mapping.GenerateNormalized(a)
+	return Compile(src, external, WithoutFusion())
 }

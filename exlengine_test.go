@@ -121,3 +121,59 @@ func TestFacadeExternalSchemas(t *testing.T) {
 		t.Errorf("schema propagation: %v", m.Schemas["Y"])
 	}
 }
+
+func TestCompileOptions(t *testing.T) {
+	const src = "cube A(t: year) measure v\nC := (A - shift(A,1)) / shift(A,1)"
+
+	// WithoutFusion matches the deprecated CompileNormalized exactly.
+	viaOpt, err := Compile(src, nil, WithoutFusion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOld, err := CompileNormalized(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOpt.String() != viaOld.String() {
+		t.Errorf("WithoutFusion and CompileNormalized disagree:\n%s\n--\n%s", viaOpt, viaOld)
+	}
+
+	// CompileTraced records the compile pipeline's span tree.
+	tr := NewTracer()
+	if _, err := Compile(src, nil, CompileTraced(tr)); err != nil {
+		t.Fatal(err)
+	}
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "compile" {
+		t.Fatalf("roots = %v, want one compile span", roots)
+	}
+	for _, phase := range []string{"parse", "analyze", "generate"} {
+		if roots[0].Find(phase) == nil {
+			t.Errorf("compile trace missing %s child", phase)
+		}
+	}
+
+	// The exported writers render the same tracer.
+	var tree, jsonl strings.Builder
+	if err := WriteTraceTree(&tree, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree.String(), "compile") {
+		t.Errorf("tree output: %q", tree.String())
+	}
+	if err := WriteTraceJSONL(&jsonl, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"name":"compile"`) {
+		t.Errorf("jsonl output: %q", jsonl.String())
+	}
+
+	// A failing compile still ends its spans.
+	tr.Reset()
+	if _, err := Compile("garbage :=", nil, CompileTraced(tr)); err == nil {
+		t.Error("bad program must fail")
+	}
+	if len(tr.Roots()) == 0 || tr.Roots()[0].Err == "" {
+		t.Error("failed compile span records no error")
+	}
+}

@@ -17,11 +17,13 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 )
 
@@ -58,16 +60,24 @@ func New(m *mapping.Mapping) *Solver { return &Solver{m: m} }
 // returned instance contains the copied elementary relations, every derived
 // relation and any auxiliary relations of a normalized (unfused) mapping.
 func (s *Solver) Solve(source Instance) (Instance, error) {
-	target, _, err := s.solve(source)
+	target, _, err := s.solve(context.Background(), source)
+	return target, err
+}
+
+// SolveContext is Solve under a context: cancellation aborts the chase
+// between strata, and a tracer carried by the context records one span
+// per tgd stratum (with binding and tuple counts).
+func (s *Solver) SolveContext(ctx context.Context, source Instance) (Instance, error) {
+	target, _, err := s.solve(ctx, source)
 	return target, err
 }
 
 // SolveWithStats is Solve, additionally reporting chase statistics.
 func (s *Solver) SolveWithStats(source Instance) (Instance, *Stats, error) {
-	return s.solve(source)
+	return s.solve(context.Background(), source)
 }
 
-func (s *Solver) solve(source Instance) (Instance, *Stats, error) {
+func (s *Solver) solve(ctx context.Context, source Instance) (Instance, *Stats, error) {
 	stats := &Stats{}
 	target := make(Instance, len(s.m.Schemas))
 
@@ -85,7 +95,16 @@ func (s *Solver) solve(source Instance) (Instance, *Stats, error) {
 
 	// Σt: apply the program tgds in stratification order.
 	for _, t := range s.m.Tgds {
-		if err := s.applyTgd(t, target, stats); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		_, span := obs.StartSpan(ctx, "chase.tgd",
+			obs.String("id", t.ID), obs.String("cube", t.Target()), obs.String("kind", t.Kind.String()))
+		b0, g0 := stats.Bindings, stats.TuplesGenerated
+		err := s.applyTgd(t, target, stats)
+		span.SetAttr(obs.Int("bindings", stats.Bindings-b0), obs.Int("tuples", stats.TuplesGenerated-g0))
+		span.EndErr(err)
+		if err != nil {
 			return nil, nil, fmt.Errorf("chase: applying %s (%s): %w", t.ID, t.Target(), err)
 		}
 		stats.Strata++

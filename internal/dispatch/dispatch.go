@@ -28,6 +28,7 @@ import (
 	"exlengine/internal/frame"
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 	"exlengine/internal/sqlengine"
 	"exlengine/internal/sqlgen"
@@ -88,6 +89,17 @@ func (d *Dispatcher) Run(subs []determine.Subgraph, tgds TgdSource,
 // Report lists every attempt, retry and fallback, even when the run
 // fails.
 func (d *Dispatcher) RunContext(ctx context.Context, subs []determine.Subgraph, tgds TgdSource,
+	schemas map[string]model.Schema, snap map[string]*model.Cube) (map[string]*model.Cube, *Report, error) {
+
+	ctx, span := obs.StartSpan(ctx, "dispatch",
+		obs.Int("fragments", len(subs)), obs.Bool("parallel", d.Parallel))
+	out, rep, err := d.runPlan(ctx, subs, tgds, schemas, snap)
+	span.EndErr(err)
+	return out, rep, err
+}
+
+// runPlan is RunContext behind the dispatch span.
+func (d *Dispatcher) runPlan(ctx context.Context, subs []determine.Subgraph, tgds TgdSource,
 	schemas map[string]model.Schema, snap map[string]*model.Cube) (map[string]*model.Cube, *Report, error) {
 
 	start := time.Now()
@@ -209,11 +221,27 @@ func (d *Dispatcher) RunContext(ctx context.Context, subs []determine.Subgraph, 
 }
 
 // runFragment executes one fragment with retries and fallback
-// degradation, recording every attempt.
+// degradation, recording every attempt in the report, in the span tree
+// and in the metrics registry carried by the context.
 func (d *Dispatcher) runFragment(ctx context.Context, idx int, sub determine.Subgraph,
 	f *fragment, snap map[string]*model.Cube) (map[string]*model.Cube, FragmentReport, error) {
 
+	ctx, span := obs.StartSpan(ctx, "fragment",
+		obs.Int("index", idx), obs.Strings("cubes", f.produces), obs.String("target", string(f.target)))
+	out, fr, err := d.runFragmentAttempts(ctx, idx, sub, f, snap)
+	if fr.Final != "" {
+		span.SetAttr(obs.String("final", string(fr.Final)))
+	}
+	span.EndErr(err)
+	return out, fr, err
+}
+
+// runFragmentAttempts is runFragment behind the fragment span.
+func (d *Dispatcher) runFragmentAttempts(ctx context.Context, idx int, sub determine.Subgraph,
+	f *fragment, snap map[string]*model.Cube) (map[string]*model.Cube, FragmentReport, error) {
+
 	start := time.Now()
+	met := obs.MetricsFrom(ctx)
 	fr := FragmentReport{Index: idx, Cubes: append([]string(nil), f.produces...), Primary: f.target}
 
 	targets := []ops.Target{f.target}
@@ -236,18 +264,26 @@ func (d *Dispatcher) runFragment(ctx context.Context, idx int, sub determine.Sub
 	for ti, target := range targets {
 		if ti > 0 {
 			fr.Fallbacks = append(fr.Fallbacks, target)
+			met.Counter(obs.Label(obs.MetricFallbacks, "target", string(target))).Add(1)
 		}
 		for attempt := 1; ; attempt++ {
-			out, err := d.exec(ctx, runner, Fragment{Index: idx, Attempt: attempt, Target: target, Cubes: fr.Cubes}, snap)
+			actx, aspan := obs.StartSpan(ctx, "attempt",
+				obs.String("target", string(target)), obs.Int("n", attempt))
+			out, err := d.exec(actx, runner, Fragment{Index: idx, Attempt: attempt, Target: target, Cubes: fr.Cubes}, snap)
+			aspan.EndErr(err)
 			if err == nil {
 				fr.Attempts = append(fr.Attempts, Attempt{Target: target, Attempt: attempt})
 				fr.Final = target
 				fr.Elapsed = time.Since(start)
+				met.Counter(obs.Label(obs.MetricFragments, "target", string(target))).Add(1)
 				return out, fr, nil
 			}
 			lastErr = err
 			rec := Attempt{Target: target, Attempt: attempt, Err: err.Error(),
 				Class: exlerr.ClassOf(err), Panic: exlerr.IsPanic(err)}
+			if rec.Panic {
+				met.Counter(obs.MetricPanics).Add(1)
+			}
 			if exlerr.IsCancellation(err) {
 				if ctx.Err() != nil {
 					// The run itself was cancelled: stop, don't degrade.
@@ -263,7 +299,11 @@ func (d *Dispatcher) runFragment(ctx context.Context, idx int, sub determine.Sub
 			if rec.Class == exlerr.Transient && attempt < d.Retry.attempts() {
 				rec.Backoff = d.Retry.Delay(attempt)
 				fr.Attempts = append(fr.Attempts, rec)
-				if serr := sleep(ctx, rec.Backoff); serr != nil {
+				met.Counter(obs.Label(obs.MetricRetries, "target", string(target))).Add(1)
+				_, bspan := obs.StartSpan(ctx, "backoff", obs.Dur("delay", rec.Backoff))
+				serr := sleep(ctx, rec.Backoff)
+				bspan.EndErr(serr)
+				if serr != nil {
 					fr.Elapsed = time.Since(start)
 					return nil, fr, serr
 				}
@@ -274,6 +314,7 @@ func (d *Dispatcher) runFragment(ctx context.Context, idx int, sub determine.Sub
 				// The data itself is inconsistent; every target computes
 				// the same data-exchange semantics, so degradation would
 				// only repeat the violation.
+				met.Counter(obs.MetricEgdViolations).Add(1)
 				fr.Elapsed = time.Since(start)
 				return nil, fr, err
 			}
@@ -394,9 +435,40 @@ func (f *fragment) runOn(ctx context.Context, target ops.Target, snap map[string
 		return nil, err
 	}
 
+	start := time.Now()
+	out, err := f.execOn(ctx, target, input, keep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Account for data movement and latency: tuples read from the shared
+	// snapshot, tuples written back, and the target's wall-clock time
+	// (successful attempts only, so latency histograms describe real work).
+	var read, written int
+	for _, c := range input {
+		read += c.Len()
+	}
+	for _, c := range out {
+		written += c.Len()
+	}
+	if sp := obs.CurrentSpan(ctx); sp != nil {
+		sp.SetAttr(obs.Int("tuples_in", read))
+		sp.SetAttr(obs.Int("tuples_out", written))
+	}
+	met := obs.MetricsFrom(ctx)
+	met.Counter(obs.Label(obs.MetricTuplesRead, "target", string(target))).Add(int64(read))
+	met.Counter(obs.Label(obs.MetricTuplesWritten, "target", string(target))).Add(int64(written))
+	met.Histogram(obs.Label(obs.MetricTargetLatency, "target", string(target))).ObserveDuration(time.Since(start))
+	return out, nil
+}
+
+// execOn runs the fragment's mapping on one concrete target engine.
+func (f *fragment) execOn(ctx context.Context, target ops.Target, input map[string]*model.Cube,
+	keep func(map[string]*model.Cube) map[string]*model.Cube) (map[string]*model.Cube, error) {
+
 	switch target {
 	case ops.TargetChase:
-		sol, err := chase.New(f.m).Solve(chase.Instance(input))
+		sol, err := chase.New(f.m).SolveContext(ctx, chase.Instance(input))
 		if err != nil {
 			return nil, err
 		}
@@ -413,7 +485,7 @@ func (f *fragment) runOn(ctx context.Context, target ops.Target, snap map[string
 		if err != nil {
 			return nil, err
 		}
-		if err := sqlgen.Execute(script, db); err != nil {
+		if err := sqlgen.ExecuteContext(ctx, script, db); err != nil {
 			return nil, err
 		}
 		out := make(map[string]*model.Cube, len(f.produces))
@@ -442,7 +514,7 @@ func (f *fragment) runOn(ctx context.Context, target ops.Target, snap map[string
 		if err != nil {
 			return nil, err
 		}
-		res, err := frame.Execute(script, f.m, input)
+		res, err := frame.ExecuteContext(ctx, script, f.m, input)
 		if err != nil {
 			return nil, err
 		}

@@ -23,6 +23,7 @@ import (
 	"exlengine/internal/mapping"
 	"exlengine/internal/matlabgen"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 	"exlengine/internal/rgen"
 	"exlengine/internal/sqlgen"
@@ -37,6 +38,8 @@ type Engine struct {
 	mappings map[string]*mapping.Mapping
 	graph    *determine.Graph
 	disp     dispatch.Dispatcher
+	tracer   *obs.Tracer
+	metrics  *obs.Registry
 }
 
 // Option configures an Engine.
@@ -77,6 +80,20 @@ func WithDispatchMiddleware(mw ...dispatch.Middleware) Option {
 	return func(e *Engine) { e.disp.Middleware = append(e.disp.Middleware, mw...) }
 }
 
+// WithTracer attaches a tracer: every compilation and run records a span
+// tree (compile → parse/analyze/generate, run → determine → dispatch →
+// fragments → attempts → target internals). A nil tracer is ignored.
+func WithTracer(t *obs.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
+// WithMetrics attaches a metrics registry: runs, fragments per target,
+// retries, fallbacks, tuples moved and per-target latency histograms
+// accumulate there. A nil registry is ignored.
+func WithMetrics(m *obs.Registry) Option {
+	return func(e *Engine) { e.metrics = m }
+}
+
 // New returns an empty engine. Fault tolerance is on by default:
 // transient fragment failures retry under dispatch.DefaultRetry, and a
 // target that keeps failing degrades to a fallback target permitted by
@@ -111,10 +128,24 @@ func (e *Engine) DeclareCube(sch model.Schema) error {
 func (e *Engine) RegisterProgram(name, src string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	ctx := context.Background()
+	if e.tracer != nil {
+		ctx = obs.ContextWithTracer(ctx, e.tracer)
+	}
+	ctx, span := obs.StartSpan(ctx, "compile", obs.String("program", name))
+	err := e.registerLocked(ctx, name, src)
+	span.EndErr(err)
+	return err
+}
+
+// registerLocked is RegisterProgram behind the compile span; e.mu held.
+func (e *Engine) registerLocked(ctx context.Context, name, src string) error {
 	if _, dup := e.programs[name]; dup {
 		return fmt.Errorf("engine: program %s already registered", name)
 	}
+	_, pspan := obs.StartSpan(ctx, "parse")
 	prog, err := exl.Parse(src)
+	pspan.EndErr(err)
 	if err != nil {
 		return err
 	}
@@ -136,21 +167,29 @@ func (e *Engine) RegisterProgram(name, src string) error {
 			return fmt.Errorf("engine: program %s redeclares existing cube %s", name, d.Name)
 		}
 	}
+	_, aspan := obs.StartSpan(ctx, "analyze")
 	a, err := exl.Analyze(prog, external)
+	aspan.EndErr(err)
 	if err != nil {
 		return err
 	}
+	_, gspan := obs.StartSpan(ctx, "generate")
 	m, err := mapping.Generate(a)
 	if err != nil {
+		gspan.EndErr(err)
 		return err
 	}
+	gspan.SetAttr(obs.Int("tgds", len(m.Tgds)))
+	gspan.End()
 
 	candidate := make(map[string]*exl.Analyzed, len(e.programs)+1)
 	for k, v := range e.programs {
 		candidate[k] = v
 	}
 	candidate[name] = a
+	_, dspan := obs.StartSpan(ctx, "graph")
 	graph, err := determine.Build(candidate)
+	dspan.EndErr(err)
 	if err != nil {
 		return err
 	}
@@ -240,48 +279,139 @@ type Report struct {
 	Elapsed   time.Duration
 }
 
+// runConfig collects the settings of one unified Run call.
+type runConfig struct {
+	changed []string
+	assign  determine.Assigner
+	asOf    time.Time
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+}
+
+// RunOption configures one Run call.
+type RunOption func(*runConfig)
+
+// RunChanged restricts the run to the consequences of the named changed
+// elementary cubes: the determination engine recomputes exactly the
+// affected derived cubes. Without it, Run recalculates everything.
+func RunChanged(names ...string) RunOption {
+	return func(c *runConfig) { c.changed = names }
+}
+
+// RunAt stamps the run's results with an explicit version timestamp
+// (historicity control). Default: time.Now().
+func RunAt(asOf time.Time) RunOption {
+	return func(c *runConfig) { c.asOf = asOf }
+}
+
+// RunOn forces every statement onto a single fixed target system instead
+// of per-statement preferred targets.
+func RunOn(t ops.Target) RunOption {
+	return func(c *runConfig) { c.assign = determine.FixedAssigner(t) }
+}
+
+// RunTraced records this run's span tree into t, overriding (for this
+// call only) any engine-level WithTracer.
+func RunTraced(t *obs.Tracer) RunOption {
+	return func(c *runConfig) { c.tracer = t }
+}
+
+// RunMetered accumulates this run's metrics into m, overriding (for this
+// call only) any engine-level WithMetrics.
+func RunMetered(m *obs.Registry) RunOption {
+	return func(c *runConfig) { c.metrics = m }
+}
+
+// Run executes a recalculation under the context: by default the full
+// plan of every program at time.Now() on preferred targets; options
+// narrow the plan (RunChanged), pin the version timestamp (RunAt), fix
+// the target (RunOn) or attach per-run observability (RunTraced,
+// RunMetered). Cancellation or deadline expiry aborts the dispatch
+// mid-run without persisting any result.
+func (e *Engine) Run(ctx context.Context, opts ...RunOption) (*Report, error) {
+	cfg := runConfig{assign: determine.AssignByPreference, asOf: time.Now()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.tracer == nil {
+		cfg.tracer = e.tracer
+	}
+	if cfg.metrics == nil {
+		cfg.metrics = e.metrics
+	}
+	if cfg.tracer != nil {
+		ctx = obs.ContextWithTracer(ctx, cfg.tracer)
+	}
+	if cfg.metrics != nil {
+		ctx = obs.ContextWithMetrics(ctx, cfg.metrics)
+	}
+	ctx, span := obs.StartSpan(ctx, "run")
+	if cfg.changed != nil {
+		span.SetAttr(obs.Strings("changed", cfg.changed))
+	}
+	rep, err := e.run(ctx, cfg.changed, cfg.assign, cfg.asOf)
+	met := obs.MetricsFrom(ctx)
+	met.Counter(obs.MetricRuns).Add(1)
+	if err != nil {
+		met.Counter(obs.MetricRunErrors).Add(1)
+	}
+	span.EndErr(err)
+	return rep, err
+}
+
 // RunAll recalculates every derived cube of every program, assigning each
 // statement to its preferred target.
-func (e *Engine) RunAll() (*Report, error) {
-	return e.run(context.Background(), nil, determine.AssignByPreference, time.Now())
-}
+//
+// Deprecated: use Run(context.Background()).
+func (e *Engine) RunAll() (*Report, error) { return e.Run(context.Background()) }
 
-// RunAllContext is RunAll under a context: cancellation or deadline
-// expiry aborts the dispatch mid-run without persisting any result.
-func (e *Engine) RunAllContext(ctx context.Context) (*Report, error) {
-	return e.run(ctx, nil, determine.AssignByPreference, time.Now())
-}
+// RunAllContext is RunAll under a context.
+//
+// Deprecated: use Run(ctx).
+func (e *Engine) RunAllContext(ctx context.Context) (*Report, error) { return e.Run(ctx) }
 
 // RunAllAt is RunAll with an explicit version timestamp for the results.
+//
+// Deprecated: use Run(ctx, RunAt(asOf)).
 func (e *Engine) RunAllAt(asOf time.Time) (*Report, error) {
-	return e.run(context.Background(), nil, determine.AssignByPreference, asOf)
+	return e.Run(context.Background(), RunAt(asOf))
 }
 
 // RunAllOn recalculates everything on a single fixed target system.
+//
+// Deprecated: use Run(ctx, RunOn(t)).
 func (e *Engine) RunAllOn(t ops.Target) (*Report, error) {
-	return e.run(context.Background(), nil, determine.FixedAssigner(t), time.Now())
+	return e.Run(context.Background(), RunOn(t))
 }
 
 // RunAllOnContext is RunAllOn under a context.
+//
+// Deprecated: use Run(ctx, RunOn(t)).
 func (e *Engine) RunAllOnContext(ctx context.Context, t ops.Target) (*Report, error) {
-	return e.run(ctx, nil, determine.FixedAssigner(t), time.Now())
+	return e.Run(ctx, RunOn(t))
 }
 
 // Recalculate runs the determination step for the changed cubes and
 // recomputes exactly the affected derived cubes.
+//
+// Deprecated: use Run(ctx, RunChanged(changed...)).
 func (e *Engine) Recalculate(changed ...string) (*Report, error) {
-	return e.run(context.Background(), changed, determine.AssignByPreference, time.Now())
+	return e.Run(context.Background(), RunChanged(changed...))
 }
 
 // RecalculateContext is Recalculate under a context.
+//
+// Deprecated: use Run(ctx, RunChanged(changed...)).
 func (e *Engine) RecalculateContext(ctx context.Context, changed ...string) (*Report, error) {
-	return e.run(ctx, changed, determine.AssignByPreference, time.Now())
+	return e.Run(ctx, RunChanged(changed...))
 }
 
 // RecalculateAt is Recalculate with an explicit version timestamp for the
 // results (historicity control).
+//
+// Deprecated: use Run(ctx, RunChanged(changed...), RunAt(asOf)).
 func (e *Engine) RecalculateAt(asOf time.Time, changed ...string) (*Report, error) {
-	return e.run(context.Background(), changed, determine.AssignByPreference, asOf)
+	return e.Run(context.Background(), RunChanged(changed...), RunAt(asOf))
 }
 
 func (e *Engine) run(ctx context.Context, changed []string, assign determine.Assigner, asOf time.Time) (*Report, error) {
@@ -292,6 +422,7 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	}
 	start := time.Now()
 
+	_, detSpan := obs.StartSpan(ctx, "determine")
 	var plan []determine.StmtRef
 	var err error
 	if changed == nil {
@@ -299,6 +430,7 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	} else {
 		plan, err = e.graph.Affected(changed)
 		if err != nil {
+			detSpan.EndErr(err)
 			return nil, err
 		}
 	}
@@ -310,6 +442,9 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	} else {
 		subs = determine.Partition(plan, assign)
 	}
+	detSpan.SetAttr(obs.Int("plan", len(plan)))
+	detSpan.SetAttr(obs.Int("subgraphs", len(subs)))
+	detSpan.End()
 
 	schemas := e.allSchemas()
 	snap := e.store.Snapshot()
@@ -328,9 +463,12 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	// Persist results as new versions, atomically: either every derived
 	// cube of the run becomes visible or none does, so a failed write
 	// never leaves the store with a half-applied run.
+	_, perSpan := obs.StartSpan(ctx, "persist", obs.Int("cubes", len(results)))
 	if err := e.store.PutAll(results, asOf); err != nil {
+		perSpan.EndErr(err)
 		return nil, err
 	}
+	perSpan.End()
 
 	rep := &Report{
 		Fragments: drep.Fragments,

@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"exlengine/internal/exlerr"
+	"exlengine/internal/faults"
+	"exlengine/internal/obs"
+	"exlengine/internal/ops"
+	"exlengine/internal/workload"
+)
+
+// counterSum adds up a per-target labelled counter across all targets.
+func counterSum(m *obs.Registry, name string) int64 {
+	var total int64
+	for _, t := range ops.AllTargets {
+		total += m.Counter(obs.Label(name, "target", string(t))).Value()
+	}
+	return total
+}
+
+// TestTracedRunSpanTree asserts the span nesting the observability layer
+// promises: run → determine/dispatch/persist, dispatch → fragment →
+// attempt, and target-engine internals under the attempt that ran them.
+func TestTracedRunSpanTree(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 100, Regions: 2})
+	tracer := obs.NewTracer()
+	e := newGDPEngine(t, data, WithTracer(tracer))
+
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := tracer.Roots()
+	// RegisterProgram traced a compile root before the run root.
+	var compile, run *obs.Span
+	for _, r := range roots {
+		switch r.Name {
+		case "compile":
+			compile = r
+		case "run":
+			run = r
+		}
+	}
+	if compile == nil {
+		t.Fatalf("no compile root; roots: %v", names(roots))
+	}
+	for _, phase := range []string{"parse", "analyze", "generate", "graph"} {
+		if compile.Find(phase) == nil {
+			t.Errorf("compile has no %s child", phase)
+		}
+	}
+	if run == nil {
+		t.Fatalf("no run root; roots: %v", names(roots))
+	}
+	for _, phase := range []string{"determine", "dispatch", "persist"} {
+		if run.Find(phase) == nil {
+			t.Errorf("run has no %s span", phase)
+		}
+	}
+
+	dispatchSpan := run.Find("dispatch")
+	fragments := dispatchSpan.FindAll("fragment")
+	if len(fragments) == 0 {
+		t.Fatal("dispatch has no fragment spans")
+	}
+	sawTargetInternal := false
+	for _, fr := range fragments {
+		if fr.Parent() != dispatchSpan {
+			t.Errorf("fragment %d not nested under dispatch", fr.ID)
+		}
+		cubes, _ := fr.Attr("cubes")
+		attempts := fr.FindAll("attempt")
+		if len(attempts) == 0 {
+			t.Errorf("fragment %s has no attempt spans", cubes)
+			continue
+		}
+		for _, a := range attempts {
+			for _, inner := range []string{"chase.tgd", "sql.stmt", "etl.flow", "frame.program"} {
+				if a.Find(inner) != nil {
+					sawTargetInternal = true
+				}
+			}
+		}
+		if _, ok := fr.Attr("final"); !ok {
+			t.Errorf("successful fragment %s has no final attr", cubes)
+		}
+	}
+	if !sawTargetInternal {
+		t.Error("no target-engine span nests under any attempt")
+	}
+
+	// Every span ended: durations are set, and the traced run left no
+	// span open.
+	for _, r := range roots {
+		assertEnded(t, r)
+	}
+}
+
+func names(spans []*obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func assertEnded(t *testing.T, s *obs.Span) {
+	t.Helper()
+	if s.Dur < 0 {
+		t.Errorf("span %s has negative duration", s.Name)
+	}
+	for _, c := range s.Children() {
+		assertEnded(t, c)
+	}
+}
+
+// TestMetricsAgreeWithReport injects the acceptance faults (a transient
+// SQL error and an ETL panic) and checks that the metrics registry and
+// the run's FragmentReport tell the same story: same retry count, same
+// fallback count, same panic count, one fragment counter per completed
+// fragment.
+func TestMetricsAgreeWithReport(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 200, Regions: 2})
+
+	restore := faults.PanicETLStep("")
+	defer restore()
+	inj := faults.NewInjector(faults.Fault{
+		Fragment: faults.AnyFragment, Attempt: 1, Target: ops.TargetSQL,
+		Kind: faults.Error, Class: exlerr.Transient,
+	})
+
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	e := newGDPEngine(t, data,
+		WithMetrics(metrics),
+		WithTracer(tracer),
+		WithSleeper(func(ctx context.Context, d time.Duration) error { return nil }),
+		WithDispatchMiddleware(inj.Middleware()))
+
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run must survive both faults: %v", err)
+	}
+
+	if got := metrics.Counter(obs.MetricRuns).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricRuns, got)
+	}
+	if got := metrics.Counter(obs.MetricRunErrors).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0", obs.MetricRunErrors, got)
+	}
+	if got := counterSum(metrics, obs.MetricRetries); got != int64(rep.Retries) {
+		t.Errorf("retry counter = %d, report says %d", got, rep.Retries)
+	}
+	if got := counterSum(metrics, obs.MetricFallbacks); got != int64(rep.Fallbacks) {
+		t.Errorf("fallback counter = %d, report says %d", got, rep.Fallbacks)
+	}
+	if got := counterSum(metrics, obs.MetricFragments); got != int64(len(rep.Fragments)) {
+		t.Errorf("fragment counter = %d, report has %d fragments", got, len(rep.Fragments))
+	}
+	var panics int
+	for _, fr := range rep.Fragments {
+		for _, at := range fr.Attempts {
+			if at.Panic {
+				panics++
+			}
+		}
+	}
+	if got := metrics.Counter(obs.MetricPanics).Value(); got != int64(panics) {
+		t.Errorf("panic counter = %d, report records %d panics", got, panics)
+	}
+
+	// Per-fragment success counters split by final target.
+	perTarget := make(map[ops.Target]int64)
+	for _, fr := range rep.Fragments {
+		perTarget[fr.Final]++
+	}
+	for target, want := range perTarget {
+		got := metrics.Counter(obs.Label(obs.MetricFragments, "target", string(target))).Value()
+		if got != want {
+			t.Errorf("fragment counter for %s = %d, report says %d", target, got, want)
+		}
+	}
+
+	// The trace shows the fault handling too: a backoff span for the
+	// retry and a failed ETL attempt before the fallback one.
+	var run *obs.Span
+	for _, r := range tracer.Roots() {
+		if r.Name == "run" {
+			run = r
+		}
+	}
+	if run == nil {
+		t.Fatal("no run root")
+	}
+	if len(run.FindAll("backoff")) != rep.Retries {
+		t.Errorf("backoff spans = %d, want %d", len(run.FindAll("backoff")), rep.Retries)
+	}
+	sawFailedAttempt := false
+	for _, a := range run.FindAll("attempt") {
+		if a.Err != "" {
+			sawFailedAttempt = true
+		}
+	}
+	if !sawFailedAttempt {
+		t.Error("no attempt span records an error under fault injection")
+	}
+}
+
+// TestTracedParallelDispatchRace exercises the tracer and the metrics
+// registry under wave-parallel dispatch; meaningful under -race.
+func TestTracedParallelDispatchRace(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 120, Regions: 2})
+	tracer := obs.NewTracer()
+	metrics := obs.NewRegistry()
+	e := newGDPEngine(t, data,
+		WithParallelDispatch(), WithTracer(tracer), WithMetrics(metrics))
+
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(context.Background(), RunAt(time.Unix(int64(i+1), 0))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := metrics.Counter(obs.MetricRuns).Value(); got != 3 {
+		t.Errorf("runs counter = %d, want 3", got)
+	}
+}
+
+// TestRunOptionEquivalence checks that the deprecated run variants and
+// the unified Run API compute identical cubes.
+func TestRunOptionEquivalence(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 100, Regions: 2})
+	t0 := time.Unix(10, 0)
+
+	oldE := newGDPEngine(t, data)
+	if _, err := oldE.RunAllAt(t0); err != nil {
+		t.Fatal(err)
+	}
+	newE := newGDPEngine(t, data)
+	if _, err := newE.Run(context.Background(), RunAt(t0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"} {
+		a, ok := oldE.Cube(rel)
+		if !ok {
+			t.Fatalf("old API: cube %s missing", rel)
+		}
+		b, ok := newE.Cube(rel)
+		if !ok {
+			t.Fatalf("new API: cube %s missing", rel)
+		}
+		if !a.Equal(b, 0) {
+			t.Errorf("%s differs between RunAllAt and Run(RunAt)", rel)
+		}
+	}
+
+	// RunOn pins the target the way RunAllOn did.
+	onE := newGDPEngine(t, data)
+	rep, err := onE.Run(context.Background(), RunOn(ops.TargetChase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Subgraphs {
+		if s.Target != ops.TargetChase {
+			t.Errorf("RunOn(chase) dispatched to %s", s.Target)
+		}
+	}
+
+	// RunChanged narrows the plan the way Recalculate did.
+	chE := newGDPEngine(t, data)
+	if _, err := chE.Run(context.Background(), RunAt(time.Unix(19, 0))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = chE.Run(context.Background(), RunChanged("RGDPPC"), RunAt(time.Unix(20, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Plan) == 0 || len(rep.Plan) >= 5 {
+		t.Errorf("RunChanged(RGDPPC) plan = %v, want a proper subset", rep.Plan)
+	}
+}
+
+// TestRunTracedAndMetered checks the per-call observability overrides.
+func TestRunTracedAndMetered(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 50, Regions: 1})
+	engTracer := obs.NewTracer()
+	e := newGDPEngine(t, data, WithTracer(engTracer))
+
+	callTracer := obs.NewTracer()
+	callMetrics := obs.NewRegistry()
+	if _, err := e.Run(context.Background(),
+		RunTraced(callTracer), RunMetered(callMetrics)); err != nil {
+		t.Fatal(err)
+	}
+	var runRoots int
+	for _, r := range callTracer.Roots() {
+		if r.Name == "run" {
+			runRoots++
+		}
+	}
+	if runRoots != 1 {
+		t.Errorf("per-call tracer has %d run roots, want 1", runRoots)
+	}
+	for _, r := range engTracer.Roots() {
+		if r.Name == "run" {
+			t.Error("engine tracer recorded the run despite RunTraced override")
+		}
+	}
+	if got := callMetrics.Counter(obs.MetricRuns).Value(); got != 1 {
+		t.Errorf("per-call metrics runs = %d, want 1", got)
+	}
+}

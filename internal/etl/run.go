@@ -12,6 +12,7 @@ import (
 	"exlengine/internal/frame"
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 )
 
@@ -58,10 +59,15 @@ func RunContext(ctx context.Context, job *Job, m *mapping.Mapping, source map[st
 	}
 	out := make(map[string]*model.Cube)
 	for _, f := range job.Flows {
-		c, err := runFlow(ctx, f, store, m.Schemas)
+		fctx, span := obs.StartSpan(ctx, "etl.flow",
+			obs.String("tgd", f.TgdID), obs.String("cube", f.Target), obs.Int("steps", len(f.Steps)))
+		c, err := runFlow(fctx, f, store, m.Schemas)
 		if err != nil {
+			span.EndErr(err)
 			return nil, fmt.Errorf("etl: flow %s: %w", f.TgdID, err)
 		}
+		span.SetAttr(obs.Int("tuples", c.Len()))
+		span.End()
 		store[f.Target] = c
 		out[f.Target] = c
 	}
@@ -166,17 +172,26 @@ func runFlow(ctx context.Context, f *Flow, store map[string]*model.Cube, schemas
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Step goroutines run concurrently, so each opens its own span
+			// directly under the flow span (steps of one flow overlap; the
+			// tracer tolerates concurrent children).
+			sctx, span := obs.StartSpan(fctx, "etl.step",
+				obs.String("step", st.Name), obs.String("type", string(st.Type)))
 			// Panic isolation: a crashing step becomes a typed error and
 			// cancels the flow instead of deadlocking it. runStep's own
 			// deferred close has already run by the time we recover, so
 			// downstream consumers still see end-of-stream.
 			defer func() {
 				if r := recover(); r != nil {
-					fe.set(exlerr.Recovered(r, debug.Stack()))
+					err := exlerr.Recovered(r, debug.Stack())
+					span.EndErr(err)
+					fe.set(err)
 					cancel()
 				}
 			}()
-			if err := runStep(fctx, f, st, cols, chans, store, schemas, &result); err != nil {
+			err := runStep(sctx, f, st, cols, chans, store, schemas, &result)
+			span.EndErr(err)
+			if err != nil {
 				fe.set(err)
 				cancel()
 			}

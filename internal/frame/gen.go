@@ -1,10 +1,12 @@
 package frame
 
 import (
+	"context"
 	"fmt"
 
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 )
 
 // Translate renders a whole mapping as a frame script: one program per tgd
@@ -24,6 +26,13 @@ func Translate(m *mapping.Mapping) (*Script, error) {
 // Execute runs the script over the source cubes and returns every computed
 // relation (derived and auxiliary) as cubes.
 func Execute(s *Script, m *mapping.Mapping, source map[string]*model.Cube) (map[string]*model.Cube, error) {
+	return ExecuteContext(context.Background(), s, m, source)
+}
+
+// ExecuteContext is Execute under a context: cancellation aborts between
+// programs, and a tracer carried by the context records one span per
+// program (tgd) and per frame operation.
+func ExecuteContext(ctx context.Context, s *Script, m *mapping.Mapping, source map[string]*model.Cube) (map[string]*model.Cube, error) {
 	env := Env{}
 	for _, name := range m.Elementary {
 		if c, ok := source[name]; ok {
@@ -34,14 +43,24 @@ func Execute(s *Script, m *mapping.Mapping, source map[string]*model.Cube) (map[
 	}
 	out := make(map[string]*model.Cube)
 	for _, p := range s.Programs {
-		res, err := p.Run(env)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pctx, span := obs.StartSpan(ctx, "frame.program",
+			obs.String("tgd", p.TgdID), obs.String("cube", p.Target), obs.Int("ops", len(p.Steps)))
+		res, err := p.RunContext(pctx, env)
 		if err != nil {
+			span.EndErr(err)
 			return nil, err
 		}
 		cube, err := res.ToCube(m.Schemas[p.Target])
 		if err != nil {
-			return nil, fmt.Errorf("frame: tgd %s result: %w", p.TgdID, err)
+			err = fmt.Errorf("frame: tgd %s result: %w", p.TgdID, err)
+			span.EndErr(err)
+			return nil, err
 		}
+		span.SetAttr(obs.Int("tuples", cube.Len()))
+		span.End()
 		out[p.Target] = cube
 		env[p.Target] = FromCube(cube)
 	}

@@ -1,10 +1,13 @@
 package frame
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/ops"
 )
 
@@ -112,8 +115,17 @@ type Env map[string]*Frame
 // Run executes a program in the environment; the result frame is bound to
 // p.Result (and returned).
 func (p *Program) Run(env Env) (*Frame, error) {
+	return p.RunContext(context.Background(), env)
+}
+
+// RunContext is Run under a context: a tracer carried by the context
+// records one span per frame operation.
+func (p *Program) RunContext(ctx context.Context, env Env) (*Frame, error) {
 	for _, s := range p.Steps {
-		if err := runStep(s, env); err != nil {
+		_, span := obs.StartSpan(ctx, "frame.op", obs.String("op", stepName(s)))
+		err := runStep(s, env)
+		span.EndErr(err)
+		if err != nil {
 			return nil, fmt.Errorf("frame: tgd %s: %w", p.TgdID, err)
 		}
 	}
@@ -122,6 +134,12 @@ func (p *Program) Run(env Env) (*Frame, error) {
 		return nil, fmt.Errorf("frame: tgd %s left no result %s", p.TgdID, p.Result)
 	}
 	return out, nil
+}
+
+// stepName names a frame operation for spans: the step's Go type without
+// the package qualifier.
+func stepName(s Step) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", s), "frame.")
 }
 
 func get(env Env, name string) (*Frame, error) {

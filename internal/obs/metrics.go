@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named counters, gauges and histograms. Instrument
+// lookups take a read lock only; updates on the instruments themselves
+// are lock-free atomics, so recording a metric on the dispatch hot path
+// costs an atomic add. All methods are safe on a nil registry: lookups
+// return nil instruments whose methods no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the name. Use
+// Label to render labelled names.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the name.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Safe on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. A nil counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable integer metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Safe on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value. A nil gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBounds are the histogram bucket upper bounds. The engine records
+// latencies in milliseconds, so the range spans 100µs to 10s with a final
+// overflow bucket.
+var histBounds = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// numBuckets is len(histBounds) plus one overflow bucket.
+const numBuckets = 17
+
+// Histogram is a fixed-bucket exponential histogram. Observations are
+// lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one value. Safe on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	i := sort.SearchFloat64s(histBounds, v)
+	h.buckets[i].Add(1)
+}
+
+// ObserveDuration records a duration in milliseconds, the unit the
+// engine's latency histograms use. Safe on a nil histogram.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Nanoseconds()) / 1e6)
+}
+
+// Count returns the number of observations. A nil histogram reads zero.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations. A nil histogram reads zero.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// returning the upper bound of the bucket holding the quantile. The
+// overflow bucket reports the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i < len(histBounds) {
+				return histBounds[i]
+			}
+			return histBounds[len(histBounds)-1]
+		}
+	}
+	return histBounds[len(histBounds)-1]
+}
+
+// histSnapshot is the JSON form of a histogram.
+type histSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
+	Buckets []bucketSnap `json:"buckets,omitempty"`
+}
+
+// bucketSnap is one non-empty histogram bucket: count of observations
+// with value <= Le (Le is +Inf for the overflow bucket, rendered as 0
+// with Inf=true).
+type bucketSnap struct {
+	Le  float64 `json:"le"`
+	Inf bool    `json:"inf,omitempty"`
+	N   int64   `json:"n"`
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	s := histSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := bucketSnap{N: n}
+		if i < len(histBounds) {
+			b.Le = histBounds[i]
+		} else {
+			b.Inf = true
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// snapshot is the JSON form of a whole registry.
+type snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]histSnapshot `json:"histograms,omitempty"`
+}
+
+func (r *Registry) snap() snapshot {
+	s := snapshot{}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]histSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteText renders a sorted, line-oriented snapshot — the format
+// `exlrun -metrics` prints:
+//
+//	counter dispatch_fragments_total{target=sql} 2
+//	gauge engine_plan_cubes 5
+//	histogram target_latency_ms{target=sql} count=2 sum=3.400 p50=1 p95=2.5 p99=2.5
+//
+// A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.snap()
+	var lines []string
+	for n, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", n, v))
+	}
+	for n, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %d", n, v))
+	}
+	for n, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d sum=%.3f p50=%g p95=%g p99=%g",
+			n, h.Count, h.Sum, h.P50, h.P95, h.P99))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as one JSON object (keys sorted by
+// encoding/json's map ordering). A nil registry writes "{}".
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.snap())
+}

@@ -1,0 +1,168 @@
+// Package obs is EXLEngine's zero-dependency observability layer:
+// tracing spans propagated through context.Context, and a lock-cheap
+// metrics registry of counters, gauges and histograms.
+//
+// The design goal is that observability is free when it is off. Every
+// entry point is nil-safe: a context without a Tracer makes StartSpan
+// return a nil *Span whose methods no-op, and a nil *Registry hands out
+// nil instruments whose methods no-op, so instrumented code never has to
+// branch on "is tracing enabled" and the fault-free hot path pays only a
+// handful of context lookups (BenchmarkTracedRun keeps this honest).
+//
+// Spans form a tree: StartSpan opens a child of the context's current
+// span (or a new root) and returns a derived context carrying the new
+// span, so nested pipeline stages — compile, determination, translation,
+// dispatch attempts, target execution — nest automatically. Exporters
+// consume the finished tree: WriteTree renders a human-readable indented
+// tree, WriteJSONL emits one JSON object per span.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	metricsKey
+)
+
+// ContextWithTracer returns a context carrying the tracer. Spans started
+// from the returned context (and its descendants) are recorded in t. A
+// nil tracer returns ctx unchanged.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer carried by the context, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// ContextWithMetrics returns a context carrying the metrics registry. A
+// nil registry returns ctx unchanged.
+func ContextWithMetrics(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, metricsKey, r)
+}
+
+// MetricsFrom returns the metrics registry carried by the context, or
+// nil. A nil registry is safe to use: its instruments no-op.
+func MetricsFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey).(*Registry)
+	return r
+}
+
+// StartSpan opens a span named name under the context's current span (or
+// as a root span) and returns a derived context in which the new span is
+// current. Without a tracer in the context it returns ctx unchanged and a
+// nil span, whose methods all no-op.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey).(*Span)
+	s := t.start(name, parent, attrs)
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// CurrentSpan returns the innermost span carried by the context, or nil.
+// Use it to annotate an enclosing span from deeper in the call stack.
+func CurrentSpan(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Attr is one key/value attribute of a span. Values are pre-rendered
+// strings so exports need no reflection.
+type Attr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// String builds a string attribute.
+func String(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Val: strconv.Itoa(v)} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Val: strconv.FormatBool(v)} }
+
+// Dur builds a duration attribute.
+func Dur(key string, d time.Duration) Attr { return Attr{Key: key, Val: d.String()} }
+
+// Strings builds a comma-joined list attribute.
+func Strings(key string, vals []string) Attr {
+	return Attr{Key: key, Val: strings.Join(vals, ",")}
+}
+
+// Float builds a float attribute with a compact rendering.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, Val: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Label renders a metric name with label pairs in a fixed order:
+// name{k1=v1,k2=v2}. Instruments are keyed by the rendered string, so the
+// same pairs in the same order always address the same instrument.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Canonical metric names recorded by the engine and dispatcher. Labelled
+// variants are rendered with Label (e.g. dispatch_fragments_total{target=sql}).
+const (
+	// MetricRuns counts Engine.Run invocations.
+	MetricRuns = "engine_runs_total"
+	// MetricRunErrors counts runs that returned an error.
+	MetricRunErrors = "engine_run_errors_total"
+	// MetricFragments counts fragments completed, labelled by the target
+	// that finally executed them.
+	MetricFragments = "dispatch_fragments_total"
+	// MetricRetries counts same-target retries of transient failures.
+	MetricRetries = "dispatch_retries_total"
+	// MetricFallbacks counts fallback targets tried after a target was
+	// exhausted.
+	MetricFallbacks = "dispatch_fallbacks_total"
+	// MetricEgdViolations counts attempts that failed on a functionality
+	// egd violation.
+	MetricEgdViolations = "dispatch_egd_violations_total"
+	// MetricPanics counts attempts that ended in a recovered panic.
+	MetricPanics = "dispatch_panics_total"
+	// MetricTuplesRead counts tuples read by successful fragment
+	// executions, labelled by target.
+	MetricTuplesRead = "target_tuples_read_total"
+	// MetricTuplesWritten counts tuples produced by successful fragment
+	// executions, labelled by target.
+	MetricTuplesWritten = "target_tuples_written_total"
+	// MetricTargetLatency is a per-target histogram of successful
+	// fragment execution latencies, in milliseconds.
+	MetricTargetLatency = "target_latency_ms"
+)

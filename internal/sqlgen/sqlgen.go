@@ -11,12 +11,14 @@
 package sqlgen
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
+	"exlengine/internal/obs"
 	"exlengine/internal/sqlengine"
 )
 
@@ -112,13 +114,32 @@ func TranslateWith(m *mapping.Mapping, opts Options) (*Script, error) {
 // translation against the database. Elementary tables must have been
 // loaded beforehand (DB.LoadCube).
 func Execute(s *Script, db *sqlengine.DB) error {
-	for _, d := range s.DDL {
-		if err := db.Exec(d); err != nil {
-			return err
+	return ExecuteContext(context.Background(), s, db)
+}
+
+// ExecuteContext is Execute under a context: cancellation aborts the
+// script between statements, and a tracer carried by the context records
+// one span per DDL batch and per INSERT step.
+func ExecuteContext(ctx context.Context, s *Script, db *sqlengine.DB) error {
+	if len(s.DDL) > 0 {
+		_, span := obs.StartSpan(ctx, "sql.ddl", obs.Int("statements", len(s.DDL)))
+		for _, d := range s.DDL {
+			if err := db.Exec(d); err != nil {
+				span.EndErr(err)
+				return err
+			}
 		}
+		span.End()
 	}
 	for _, st := range s.Steps {
-		if err := db.Exec(st.SQL); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, span := obs.StartSpan(ctx, "sql.stmt",
+			obs.String("tgd", st.TgdID), obs.String("cube", st.Target))
+		err := db.Exec(st.SQL)
+		span.EndErr(err)
+		if err != nil {
 			return fmt.Errorf("sqlgen: executing %s: %w", st.TgdID, err)
 		}
 	}
