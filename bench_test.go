@@ -26,6 +26,7 @@ import (
 	"exlengine/internal/rgen"
 	"exlengine/internal/sqlengine"
 	"exlengine/internal/sqlgen"
+	"exlengine/internal/store"
 	"exlengine/internal/workload"
 )
 
@@ -390,6 +391,106 @@ func BenchmarkE10_ChaseScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE11_ConcurrentRuns measures throughput of N goroutines
+// re-running the compiled GDP program against one shared store — the
+// workload the zero-copy read path is built for. Every iteration is a
+// full run (snapshot, dispatch, persist) plus a read-back of all cubes;
+// the store hands out shared frozen references, so worker count should
+// scale throughput instead of multiplying clone traffic.
+func BenchmarkE11_ConcurrentRuns(b *testing.B) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 1000, Regions: 10})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.New(engine.WithParallelDispatch())
+			if err := eng.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+				b.Fatal(err)
+			}
+			for _, name := range []string{"PDR", "RGDPPC"} {
+				if err := eng.PutCube(data[name], time.Unix(0, 0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			asOf := time.Unix(1, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			runs, err := workload.RunConcurrently(context.Background(),
+				workload.ConcurrentConfig{Workers: workers, Iters: b.N},
+				func(ctx context.Context) error {
+					if _, err := eng.Run(ctx, engine.RunAt(asOf)); err != nil {
+						return err
+					}
+					for _, name := range eng.CubeNames() {
+						eng.Cube(name)
+					}
+					return nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if runs != workers*b.N {
+				b.Fatalf("completed %d runs, want %d", runs, workers*b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkStoreSnapshot pins the tentpole property: Snapshot and Get
+// return shared frozen references, so read cost must not scale with cube
+// size. Before the zero-copy change both deep-cloned every cube and the
+// 100000-row case was ~1000x the 100-row one.
+func BenchmarkStoreSnapshot(b *testing.B) {
+	for _, rows := range []int{100, 10000, 100000} {
+		st := store.New()
+		c := workload.Series(workload.SeriesConfig{
+			Name: "S", Freq: model.Daily, N: rows, Level: 100, Trend: 0.1, NoiseAmp: 1, Seed: 7,
+		})
+		if err := st.Put(c, time.Unix(0, 0)); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snap, _ := st.SnapshotVersioned()
+				if snap["S"] == nil {
+					b.Fatal("missing cube")
+				}
+				if _, ok := st.Get("S"); !ok {
+					b.Fatal("missing cube")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCache contrasts a cold compile (parse + analyze +
+// generate + fuse) with a cache hit (one fingerprint hash and a map
+// lookup) for the GDP program.
+func BenchmarkCompileCache(b *testing.B) {
+	ctx := context.Background()
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.ResetCompileCache()
+			if _, err := engine.CompileCached(ctx, workload.GDPProgram, nil, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		engine.ResetCompileCache()
+		if _, err := engine.CompileCached(ctx, workload.GDPProgram, nil, true); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.CompileCached(ctx, workload.GDPProgram, nil, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDispatchFaultFree measures the cost of the fault-tolerance

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	exlbench [-run all|e1|e2|...|e10] [-quick]
+//	exlbench [-run all|e1|e2|...|e11] [-quick] [-workers N] [-iters N]
 package main
 
 import (
@@ -33,11 +33,17 @@ import (
 	"exlengine/internal/workload"
 )
 
-var quick bool
+var (
+	quick   bool
+	workers int
+	iters   int
+)
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (e1..e10 or all)")
+	run := flag.String("run", "all", "experiment to run (e1..e11 or all)")
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps for fast runs")
+	flag.IntVar(&workers, "workers", 8, "e11: max concurrent run loops (sweep is 1..workers, doubling)")
+	flag.IntVar(&iters, "iters", 4, "e11: runs per worker")
 	flag.Parse()
 
 	experiments := []struct {
@@ -55,6 +61,7 @@ func main() {
 		{"e8", "E8: incremental determination vs full recalculation", e8},
 		{"e9", "E9: fused vs normalized mappings (ablation)", e9},
 		{"e10", "E10: chase scaling", e10},
+		{"e11", "E11: concurrent re-runs over a shared store (zero-copy reads + compile cache)", e11},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -444,6 +451,67 @@ B := ((((A * 2) + A) / 3 - A) * 100) / (A + 1)
 	fmt.Printf("%-22s %8d %12.2f  (sql)\n", "normalized, views", len(norm.Tgds), float64(dSQLViews.Microseconds())/1000)
 	fmt.Printf("fusion speedup (chase): %.2fx; views vs tables (sql): %.2fx\n",
 		float64(dNorm)/float64(dFused), float64(dSQLTables)/float64(dSQLViews))
+}
+
+// e11 drives N goroutines re-running the GDP program against one shared
+// engine (the production shape: many consumers, one store) and reports
+// throughput per worker count plus the compile-cache counters. With
+// zero-copy reads, runs/s should grow with workers; before, every
+// snapshot deep-cloned the store and the workers serialized on clone
+// traffic.
+func e11() {
+	days := 1000
+	if quick {
+		days = 200
+	}
+	data := workload.GDPSource(workload.GDPConfig{Days: days, Regions: 10})
+	metrics := obs.NewRegistry()
+	engine.ResetCompileCache()
+
+	fmt.Printf("%-9s %-7s %-12s %-12s\n", "workers", "runs", "elapsed ms", "runs/s")
+	for w := 1; w <= workers; w *= 2 {
+		eng := engine.New(engine.WithParallelDispatch(), engine.WithMetrics(metrics))
+		if err := eng.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+			panic(err)
+		}
+		for _, name := range []string{"PDR", "RGDPPC"} {
+			if err := eng.PutCube(data[name], time.Unix(0, 0)); err != nil {
+				panic(err)
+			}
+		}
+		asOf := time.Unix(1, 0)
+		start := time.Now()
+		runs, err := workload.RunConcurrently(context.Background(),
+			workload.ConcurrentConfig{Workers: w, Iters: iters},
+			func(ctx context.Context) error {
+				if _, err := eng.Run(ctx, engine.RunAt(asOf)); err != nil {
+					return err
+				}
+				for _, name := range eng.CubeNames() {
+					eng.Cube(name)
+				}
+				return nil
+			})
+		if err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		fmt.Printf("%-9d %-7d %-12.2f %-12.1f\n", w, runs,
+			float64(d.Microseconds())/1000, float64(runs)/d.Seconds())
+	}
+	fmt.Printf("compile cache: %d misses, %d hits across %d engines (one parse/analyze/generate total)\n",
+		metrics.Counter(obs.MetricCompileCacheMisses).Value(),
+		metrics.Counter(obs.MetricCompileCacheHits).Value(),
+		countEngines(workers))
+}
+
+// countEngines reports how many engines the e11 sweep constructs.
+func countEngines(maxWorkers int) int {
+	n := 0
+	for w := 1; w <= maxWorkers; w *= 2 {
+		n++
+	}
+	return n
 }
 
 func e10() {

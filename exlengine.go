@@ -266,6 +266,10 @@ func CompileTraced(t *Tracer) CompileOption {
 // schemas) and generates its schema mapping — the paper's Section 4
 // pipeline without execution, fused unless WithoutFusion is given. Use it
 // to inspect tgds or feed the translators directly.
+//
+// Results are cached process-wide, keyed by (program text, external-schema
+// fingerprint, fusion): recompiling an unchanged program is a map lookup,
+// and the returned mapping is shared — treat it as read-only.
 func Compile(src string, external map[string]Schema, opts ...CompileOption) (*Mapping, error) {
 	cfg := compileConfig{fusion: true}
 	for _, o := range opts {
@@ -276,34 +280,12 @@ func Compile(src string, external map[string]Schema, opts ...CompileOption) (*Ma
 		ctx = obs.ContextWithTracer(ctx, cfg.tracer)
 	}
 	ctx, span := obs.StartSpan(ctx, "compile", obs.Bool("fusion", cfg.fusion))
-
-	_, pspan := obs.StartSpan(ctx, "parse")
-	prog, err := exl.Parse(src)
-	pspan.EndErr(err)
-	if err != nil {
-		span.EndErr(err)
-		return nil, err
-	}
-	_, aspan := obs.StartSpan(ctx, "analyze")
-	a, err := exl.Analyze(prog, external)
-	aspan.EndErr(err)
-	if err != nil {
-		span.EndErr(err)
-		return nil, err
-	}
-	_, gspan := obs.StartSpan(ctx, "generate")
-	var m *Mapping
-	if cfg.fusion {
-		m, err = mapping.Generate(a)
-	} else {
-		m, err = mapping.GenerateNormalized(a)
-	}
-	if err == nil {
-		gspan.SetAttr(obs.Int("tgds", len(m.Tgds)))
-	}
-	gspan.EndErr(err)
+	c, err := engine.CompileCached(ctx, src, external, cfg.fusion)
 	span.EndErr(err)
-	return m, err
+	if err != nil {
+		return nil, err
+	}
+	return c.Mapping, nil
 }
 
 // Validate parses and type-checks an EXL program without generating a

@@ -369,7 +369,11 @@ func buildFragment(sub determine.Subgraph, tgds TgdSource, schemas map[string]mo
 			return nil, fmt.Errorf("dispatch: no tgds for cube %s", ref.Cube())
 		}
 		for _, t := range ts {
-			m.Tgds = append(m.Tgds, t)
+			// Shallow-copy the tgd: the source mapping is shared read-only
+			// (between engines, via the compile cache), while the fragment
+			// restratifies its private copies below.
+			tc := *t
+			m.Tgds = append(m.Tgds, &tc)
 			producedHere[t.Target()] = true
 			if sch, ok := schemas[t.Target()]; ok {
 				m.Schemas[t.Target()] = sch

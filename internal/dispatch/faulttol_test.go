@@ -3,6 +3,7 @@ package dispatch
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -381,5 +382,35 @@ func TestBackoffSchedule(t *testing.T) {
 	}
 	if (RetryPolicy{}).Delay(3) != 0 {
 		t.Error("zero policy must have zero delay")
+	}
+}
+
+// TestBackoffNoOverflow is the regression test for the uncapped doubling
+// bug: with MaxDelay zero (no cap), enough attempts made the delay wrap
+// to a negative Duration, which realSleep treats as "don't sleep" — the
+// retry loop went hot. The schedule must saturate instead, and stay
+// monotonically non-decreasing along the way.
+func TestBackoffNoOverflow(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Second}
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 100; attempt++ {
+		d := p.Delay(attempt)
+		if d <= 0 {
+			t.Fatalf("Delay(%d) = %v; overflowed to non-positive", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("Delay(%d) = %v < Delay(%d) = %v; schedule not monotone", attempt, d, attempt-1, prev)
+		}
+		prev = d
+	}
+	// Saturation point: 1s << 62 overflows int64; attempt 63 and beyond
+	// must pin at MaxInt64 rather than wrap.
+	if d := p.Delay(80); d != time.Duration(math.MaxInt64) {
+		t.Errorf("Delay(80) = %v, want saturation at MaxInt64", d)
+	}
+	// An explicit cap still wins.
+	capped := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Second, MaxDelay: time.Minute}
+	if d := capped.Delay(80); d != time.Minute {
+		t.Errorf("capped Delay(80) = %v, want 1m", d)
 	}
 }

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"math"
 	"time"
 )
 
@@ -32,19 +33,27 @@ func (p RetryPolicy) attempts() int {
 
 // Delay returns the capped exponential backoff to sleep after the given
 // failed attempt (1-based): BaseDelay * 2^(attempt-1), at most MaxDelay.
+// With no explicit cap the doubling still saturates at the maximum
+// Duration instead of overflowing: a wrapped-negative delay would make
+// realSleep return immediately and turn a long backoff into a hot retry
+// loop.
 func (p RetryPolicy) Delay(attempt int) time.Duration {
 	if p.BaseDelay <= 0 {
 		return 0
 	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = time.Duration(math.MaxInt64)
+	}
 	d := p.BaseDelay
 	for i := 1; i < attempt; i++ {
-		d *= 2
-		if p.MaxDelay > 0 && d >= p.MaxDelay {
-			return p.MaxDelay
+		if d > maxD/2 {
+			return maxD
 		}
+		d *= 2
 	}
-	if p.MaxDelay > 0 && d > p.MaxDelay {
-		return p.MaxDelay
+	if d > maxD {
+		return maxD
 	}
 	return d
 }

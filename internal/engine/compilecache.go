@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"exlengine/internal/exl"
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+	"exlengine/internal/obs"
+)
+
+// Compiled is one cached compilation result: the analyzed program plus
+// its generated schema mapping. Both are shared read-only between every
+// engine that compiles the same source against the same external
+// schemas, so cache hits skip parse, analyze and generate entirely.
+type Compiled struct {
+	Analyzed *exl.Analyzed
+	Mapping  *mapping.Mapping
+}
+
+// compileCacheCap bounds the process-wide cache. Statistical catalogs
+// hold tens to hundreds of programs; beyond the cap, an arbitrary entry
+// is evicted (recompiling is always correct, only slower).
+const compileCacheCap = 256
+
+var compileCache = struct {
+	sync.Mutex
+	m map[string]*Compiled
+}{m: make(map[string]*Compiled)}
+
+// ResetCompileCache empties the process-wide compile cache (tests).
+func ResetCompileCache() {
+	compileCache.Lock()
+	defer compileCache.Unlock()
+	compileCache.m = make(map[string]*Compiled)
+}
+
+// SchemaFingerprint returns a deterministic digest of an external-schema
+// environment. Two compilations of the same source text may share a
+// cached result only when their fingerprints agree, because external
+// schemas drive type checking and mapping generation.
+func SchemaFingerprint(external map[string]model.Schema) string {
+	names := make([]string, 0, len(external))
+	for n := range external {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		sch := external[n]
+		// Schema.String covers name and dimensions; the measure name is
+		// part of the generated mapping too, so hash it explicitly.
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", n, sch.String(), sch.Measure)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheKey identifies one compilation: program text, external-schema
+// fingerprint and the fusion setting (fused and normalized mappings of
+// the same source differ).
+func cacheKey(src, fingerprint string, fusion bool) string {
+	return fmt.Sprintf("%s\x00%t\x00%s", fingerprint, fusion, src)
+}
+
+// CompileCached compiles an EXL program against the external schemas,
+// consulting the process-wide compile cache keyed by (program text,
+// external-schema fingerprint, fusion). On a hit the parse/analyze/
+// generate pipeline is skipped and the shared result returned; hits and
+// misses are counted in the metrics registry carried by ctx, and the
+// current span (if any) is annotated with the outcome.
+func CompileCached(ctx context.Context, src string, external map[string]model.Schema, fusion bool) (*Compiled, error) {
+	key := cacheKey(src, SchemaFingerprint(external), fusion)
+	met := obs.MetricsFrom(ctx)
+
+	compileCache.Lock()
+	hit := compileCache.m[key]
+	compileCache.Unlock()
+	if hit != nil {
+		met.Counter(obs.MetricCompileCacheHits).Inc()
+		if sp := obs.CurrentSpan(ctx); sp != nil {
+			sp.SetAttr(obs.String("cache", "hit"))
+		}
+		return hit, nil
+	}
+	met.Counter(obs.MetricCompileCacheMisses).Inc()
+	if sp := obs.CurrentSpan(ctx); sp != nil {
+		sp.SetAttr(obs.String("cache", "miss"))
+	}
+
+	_, pspan := obs.StartSpan(ctx, "parse")
+	prog, err := exl.Parse(src)
+	pspan.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	_, aspan := obs.StartSpan(ctx, "analyze")
+	a, err := exl.Analyze(prog, external)
+	aspan.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	_, gspan := obs.StartSpan(ctx, "generate")
+	var m *mapping.Mapping
+	if fusion {
+		m, err = mapping.Generate(a)
+	} else {
+		m, err = mapping.GenerateNormalized(a)
+	}
+	if err == nil {
+		gspan.SetAttr(obs.Int("tgds", len(m.Tgds)))
+	}
+	gspan.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Compiled{Analyzed: a, Mapping: m}
+	compileCache.Lock()
+	if len(compileCache.m) >= compileCacheCap {
+		for k := range compileCache.m {
+			delete(compileCache.m, k)
+			break
+		}
+	}
+	compileCache.m[key] = c
+	compileCache.Unlock()
+	return c, nil
+}

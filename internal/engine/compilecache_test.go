@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"exlengine/internal/model"
+	"exlengine/internal/obs"
+	"exlengine/internal/workload"
+)
+
+// TestCompileCacheHitSkipsPipeline: registering the same program text
+// against the same external schemas on a second engine must be served
+// from the cache — no parse/analyze/generate spans, a hit counter
+// instead of a miss, and the shared mapping identical by pointer.
+func TestCompileCacheHitSkipsPipeline(t *testing.T) {
+	ResetCompileCache()
+
+	newEngine := func() (*Engine, *obs.Tracer, *obs.Registry) {
+		tr, mx := obs.NewTracer(), obs.NewRegistry()
+		e := New(WithTracer(tr), WithMetrics(mx))
+		// Metrics flow through the compile span's context only when the
+		// registry rides on it; RegisterProgram wires the tracer, so route
+		// metrics through a per-call run later. Here we read counters off
+		// the registry attached via context below.
+		return e, tr, mx
+	}
+
+	e1, tr1, _ := newEngine()
+	if err := e1.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+		t.Fatal(err)
+	}
+	compile1 := findRoot(tr1, "compile")
+	if compile1 == nil {
+		t.Fatal("no compile span on first registration")
+	}
+	if compile1.Find("parse") == nil || compile1.Find("generate") == nil {
+		t.Fatal("cold-cache compile skipped the pipeline")
+	}
+
+	e2, tr2, _ := newEngine()
+	if err := e2.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+		t.Fatal(err)
+	}
+	compile2 := findRoot(tr2, "compile")
+	if compile2 == nil {
+		t.Fatal("no compile span on second registration")
+	}
+	for _, phase := range []string{"parse", "analyze", "generate"} {
+		if compile2.Find(phase) != nil {
+			t.Errorf("cache hit still ran %s", phase)
+		}
+	}
+	m1, _ := e1.Mapping("gdp")
+	m2, _ := e2.Mapping("gdp")
+	if m1 != m2 {
+		t.Errorf("cache hit did not share the mapping instance")
+	}
+
+	// Both engines must still run correctly off the shared mapping, and
+	// dispatch restratification must not corrupt it for the other engine.
+	data := workload.GDPSource(workload.GDPConfig{Days: 60, Regions: 2})
+	for _, e := range []*Engine{e1, e2} {
+		for _, name := range []string{"PDR", "RGDPPC"} {
+			if err := e.PutCube(data[name], time.Unix(0, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g1, _ := e1.Cube("GDP")
+	g2, _ := e2.Cube("GDP")
+	if g1 == nil || g2 == nil || !g1.Equal(g2, model.Eps) {
+		t.Errorf("engines sharing a cached mapping computed different GDP cubes")
+	}
+}
+
+// TestCompileCacheMetrics: hit/miss counters accumulate in the metrics
+// registry carried by the compile context.
+func TestCompileCacheMetrics(t *testing.T) {
+	ResetCompileCache()
+	mx := obs.NewRegistry()
+	ctx := obs.ContextWithMetrics(context.Background(), mx)
+
+	src := "cube Z9(t: year) measure v\nZD := Z9 * 2\n"
+	if _, err := CompileCached(ctx, src, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileCached(ctx, src, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if hits := mx.Counter(obs.MetricCompileCacheHits).Value(); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	if misses := mx.Counter(obs.MetricCompileCacheMisses).Value(); misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+	// A different fusion setting is a different compilation.
+	if _, err := CompileCached(ctx, src, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if misses := mx.Counter(obs.MetricCompileCacheMisses).Value(); misses != 2 {
+		t.Errorf("misses after fusion flip = %d, want 2", misses)
+	}
+}
+
+// TestSchemaFingerprint: the fingerprint must separate environments that
+// compile differently and agree on identical ones.
+func TestSchemaFingerprint(t *testing.T) {
+	a := map[string]model.Schema{
+		"A": model.NewSchema("A", []model.Dim{{Name: "t", Type: model.TYear}}, "v"),
+	}
+	b := map[string]model.Schema{
+		"A": model.NewSchema("A", []model.Dim{{Name: "t", Type: model.TQuarter}}, "v"),
+	}
+	c := map[string]model.Schema{
+		"A": model.NewSchema("A", []model.Dim{{Name: "t", Type: model.TYear}}, "w"),
+	}
+	if SchemaFingerprint(a) != SchemaFingerprint(map[string]model.Schema{"A": a["A"]}) {
+		t.Error("identical environments fingerprint differently")
+	}
+	if SchemaFingerprint(a) == SchemaFingerprint(b) {
+		t.Error("dimension type change not reflected in fingerprint")
+	}
+	if SchemaFingerprint(a) == SchemaFingerprint(c) {
+		t.Error("measure change not reflected in fingerprint")
+	}
+	if SchemaFingerprint(nil) == SchemaFingerprint(a) {
+		t.Error("empty environment collides with non-empty one")
+	}
+}
+
+func findRoot(tr *obs.Tracer, name string) *obs.Span {
+	for _, r := range tr.Roots() {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}

@@ -132,6 +132,9 @@ func (e *Engine) RegisterProgram(name, src string) error {
 	if e.tracer != nil {
 		ctx = obs.ContextWithTracer(ctx, e.tracer)
 	}
+	if e.metrics != nil {
+		ctx = obs.ContextWithMetrics(ctx, e.metrics)
+	}
 	ctx, span := obs.StartSpan(ctx, "compile", obs.String("program", name))
 	err := e.registerLocked(ctx, name, src)
 	span.EndErr(err)
@@ -143,12 +146,6 @@ func (e *Engine) registerLocked(ctx context.Context, name, src string) error {
 	if _, dup := e.programs[name]; dup {
 		return fmt.Errorf("engine: program %s already registered", name)
 	}
-	_, pspan := obs.StartSpan(ctx, "parse")
-	prog, err := exl.Parse(src)
-	pspan.EndErr(err)
-	if err != nil {
-		return err
-	}
 	external := make(map[string]model.Schema)
 	for _, n := range e.store.Names() {
 		sch, _ := e.store.Schema(n)
@@ -159,28 +156,23 @@ func (e *Engine) registerLocked(ctx context.Context, name, src string) error {
 			external[n] = sch
 		}
 	}
+	// Parse/analyze/generate through the compiled-program cache: an
+	// engine re-registering a catalog already compiled elsewhere (same
+	// source, same external schemas) reuses the shared mapping.
+	c, err := CompileCached(ctx, src, external, true)
+	if err != nil {
+		return err
+	}
+	a, m := c.Analyzed, c.Mapping
 	// A program may not redeclare a cube that already exists in the
 	// catalog: elementary cubes are owned by the metadata catalog, derived
-	// ones by their defining program.
-	for _, d := range prog.Decls {
+	// ones by their defining program. (Analyze already rejects this; the
+	// check keeps the engine-level error explicit.)
+	for _, d := range a.Program.Decls {
 		if _, exists := external[d.Name]; exists {
 			return fmt.Errorf("engine: program %s redeclares existing cube %s", name, d.Name)
 		}
 	}
-	_, aspan := obs.StartSpan(ctx, "analyze")
-	a, err := exl.Analyze(prog, external)
-	aspan.EndErr(err)
-	if err != nil {
-		return err
-	}
-	_, gspan := obs.StartSpan(ctx, "generate")
-	m, err := mapping.Generate(a)
-	if err != nil {
-		gspan.EndErr(err)
-		return err
-	}
-	gspan.SetAttr(obs.Int("tgds", len(m.Tgds)))
-	gspan.End()
 
 	candidate := make(map[string]*exl.Analyzed, len(e.programs)+1)
 	for k, v := range e.programs {
@@ -276,7 +268,10 @@ type Report struct {
 	Fragments []dispatch.FragmentReport
 	Retries   int // same-target retries across the run
 	Fallbacks int // fallback targets tried across the run
-	Elapsed   time.Duration
+	// Generation is the store write generation the run's snapshot was
+	// taken at (see store.Store.Generation).
+	Generation uint64
+	Elapsed    time.Duration
 }
 
 // runConfig collects the settings of one unified Run call.
@@ -447,12 +442,17 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	detSpan.End()
 
 	schemas := e.allSchemas()
-	snap := e.store.Snapshot()
+	// The snapshot shares the store's frozen cube versions: taking it
+	// costs O(#cubes), not O(tuples), and the generation stamps which
+	// store state the run read.
+	snap, gen := e.store.SnapshotVersioned()
 	// Declared cubes without data yet behave as empty relations, so a
 	// program can be validated and run before all inputs have arrived.
+	// They are frozen like every other snapshot member: targets only read
+	// the snapshot.
 	for name, sch := range schemas {
 		if _, ok := snap[name]; !ok {
-			snap[name] = model.NewCube(sch)
+			snap[name] = model.NewCube(sch).Freeze()
 		}
 	}
 	results, drep, err := e.disp.RunContext(ctx, subs, e.tgdsFor, schemas, snap)
@@ -462,8 +462,13 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 
 	// Persist results as new versions, atomically: either every derived
 	// cube of the run becomes visible or none does, so a failed write
-	// never leaves the store with a half-applied run.
+	// never leaves the store with a half-applied run. The result cubes
+	// are owned exclusively by this run, so freezing them lets the store
+	// adopt them without another deep copy.
 	_, perSpan := obs.StartSpan(ctx, "persist", obs.Int("cubes", len(results)))
+	for _, c := range results {
+		c.Freeze()
+	}
 	if err := e.store.PutAll(results, asOf); err != nil {
 		perSpan.EndErr(err)
 		return nil, err
@@ -471,10 +476,11 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	perSpan.End()
 
 	rep := &Report{
-		Fragments: drep.Fragments,
-		Retries:   drep.Retries(),
-		Fallbacks: drep.Fallbacks(),
-		Elapsed:   time.Since(start),
+		Generation: gen,
+		Fragments:  drep.Fragments,
+		Retries:    drep.Retries(),
+		Fallbacks:  drep.Fallbacks(),
+		Elapsed:    time.Since(start),
 	}
 	for _, ref := range plan {
 		rep.Plan = append(rep.Plan, ref.Cube())

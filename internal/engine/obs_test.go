@@ -25,6 +25,9 @@ func counterSum(m *obs.Registry, name string) int64 {
 // promises: run → determine/dispatch/persist, dispatch → fragment →
 // attempt, and target-engine internals under the attempt that ran them.
 func TestTracedRunSpanTree(t *testing.T) {
+	// A compile-cache hit would skip the parse/analyze/generate children
+	// asserted below; start from a cold cache to pin the miss-path shape.
+	ResetCompileCache()
 	data := workload.GDPSource(workload.GDPConfig{Days: 100, Regions: 2})
 	tracer := obs.NewTracer()
 	e := newGDPEngine(t, data, WithTracer(tracer))

@@ -458,7 +458,14 @@ func runStep(ctx context.Context, f *Flow, st *Step, cols map[string][]string, c
 			}
 			pts = append(pts, point{p, v})
 		}
-		sort.Slice(pts, func(i, j int) bool { return pts[i].p.Compare(pts[j].p) < 0 })
+		// Tie-break duplicate periods on value: sort.Slice is unstable
+		// and a nondeterministic order would leak into the series output.
+		sort.Slice(pts, func(i, j int) bool {
+			if c := pts[i].p.Compare(pts[j].p); c != 0 {
+				return c < 0
+			}
+			return pts[i].v < pts[j].v
+		})
 		vals := make([]float64, len(pts))
 		for i, pt := range pts {
 			vals[i] = pt.v

@@ -1,0 +1,49 @@
+package frame
+
+import (
+	"testing"
+
+	"exlengine/internal/model"
+)
+
+// TestSeriesOpDuplicatePeriodsDeterministic is the regression test for
+// the unstable series sort: a frame with duplicate periods used to order
+// equal periods by row position, so CUMSUM's running totals depended on
+// upstream row order. The tie-break on value makes the output a pure
+// function of the frame's contents.
+func TestSeriesOpDuplicatePeriodsDeterministic(t *testing.T) {
+	const periods, dups = 8, 8
+	mkFrame := func(reverse bool) *Frame {
+		fr := NewFrame("t", "v")
+		n := periods * dups
+		for i := 0; i < n; i++ {
+			k := i
+			if reverse {
+				k = n - 1 - i
+			}
+			q := model.NewQuarterly(2000, 1).Shift(int64(k % periods))
+			fr.Rows = append(fr.Rows, []model.Value{model.Per(q), model.Num(float64(k))})
+		}
+		return fr
+	}
+	op := SeriesOp{Out: "O", In: "S", Op: "cumsum", TimeCol: "t", ValCol: "v"}
+
+	a, err := seriesOp(mkFrame(false), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := seriesOp(mkFrame(true), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) || len(a.Rows) != periods*dups {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !a.Rows[i][j].Equal(b.Rows[i][j]) {
+				t.Fatalf("row %d differs between input orders: %v vs %v", i, a.Rows[i], b.Rows[i])
+			}
+		}
+	}
+}

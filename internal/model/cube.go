@@ -16,6 +16,11 @@ const Eps = 1e-9
 // egd F(x…,y1) ∧ F(x…,y2) → y1 = y2 that the paper's mappings enforce.
 var ErrFunctional = errors.New("model: functional dependency violation (egd)")
 
+// ErrFrozen is returned by mutating cube methods after Freeze: frozen
+// cubes are shared by reference between the store and every reader, so
+// in-place mutation would be a data race. Mutate a Clone instead.
+var ErrFrozen = errors.New("model: cube is frozen (shared); mutate a Clone instead")
+
 // Tuple is one cube tuple (x1, …, xn, y): the dimension coordinates plus
 // the measure.
 type Tuple struct {
@@ -28,6 +33,7 @@ type Tuple struct {
 type Cube struct {
 	schema Schema
 	rows   map[string]Tuple
+	frozen bool
 }
 
 // NewCube returns an empty cube instance for the schema.
@@ -38,6 +44,18 @@ func NewCube(schema Schema) *Cube {
 // Schema returns the cube's schema.
 func (c *Cube) Schema() Schema { return c.schema }
 
+// Freeze marks the cube immutable and returns it. A frozen cube can be
+// shared by reference across goroutines without synchronization: every
+// mutating method fails with ErrFrozen, so readers see a stable value.
+// Freezing is one-way; Clone returns a mutable copy.
+func (c *Cube) Freeze() *Cube {
+	c.frozen = true
+	return c
+}
+
+// Frozen reports whether the cube has been frozen.
+func (c *Cube) Frozen() bool { return c.frozen }
+
 // Len returns the number of tuples in the cube.
 func (c *Cube) Len() int { return len(c.rows) }
 
@@ -45,6 +63,9 @@ func (c *Cube) Len() int { return len(c.rows) }
 // twice is a no-op (up to Eps); asserting a different value returns
 // ErrFunctional, mirroring chase failure on an egd involving constants.
 func (c *Cube) Put(dims []Value, measure float64) error {
+	if c.frozen {
+		return fmt.Errorf("%w: %s", ErrFrozen, c.schema.Name)
+	}
 	if len(dims) != len(c.schema.Dims) {
 		return fmt.Errorf("model: cube %s expects %d dimensions, got %d", c.schema.Name, len(c.schema.Dims), len(dims))
 	}
@@ -65,6 +86,9 @@ func (c *Cube) Put(dims []Value, measure float64) error {
 // previous value. It is used by the store when new versions of elementary
 // cubes arrive.
 func (c *Cube) Replace(dims []Value, measure float64) error {
+	if c.frozen {
+		return fmt.Errorf("%w: %s", ErrFrozen, c.schema.Name)
+	}
 	if len(dims) != len(c.schema.Dims) {
 		return fmt.Errorf("model: cube %s expects %d dimensions, got %d", c.schema.Name, len(c.schema.Dims), len(dims))
 	}
@@ -84,8 +108,12 @@ func (c *Cube) Get(dims []Value) (float64, bool) {
 }
 
 // Delete removes the tuple for the dimension tuple, reporting whether it
-// was present.
+// was present. Delete panics on a frozen cube (its signature cannot carry
+// ErrFrozen).
 func (c *Cube) Delete(dims []Value) bool {
+	if c.frozen {
+		panic(fmt.Sprintf("%v: %s", ErrFrozen, c.schema.Name))
+	}
 	key := EncodeKey(dims)
 	_, ok := c.rows[key]
 	delete(c.rows, key)
@@ -115,7 +143,7 @@ func (c *Cube) ForEach(fn func(Tuple) error) error {
 	return nil
 }
 
-// Clone returns a deep copy of the cube.
+// Clone returns a deep, mutable copy of the cube (frozen or not).
 func (c *Cube) Clone() *Cube {
 	out := NewCube(c.schema)
 	for k, t := range c.rows {

@@ -268,3 +268,41 @@ func BenchmarkCubePut(b *testing.B) {
 	}
 	_ = time.Now
 }
+
+func TestFreezeRejectsMutation(t *testing.T) {
+	c := NewCube(rgdpSchema())
+	dims := []Value{Per(Period{Freq: Quarterly, Ord: 1}), Str("north")}
+	if err := c.Put(dims, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Frozen() {
+		t.Fatal("new cube is frozen")
+	}
+	if got := c.Freeze(); got != c {
+		t.Error("Freeze must return its receiver")
+	}
+	if !c.Frozen() {
+		t.Fatal("Freeze did not mark the cube")
+	}
+	if err := c.Put(dims, 2); !errors.Is(err, ErrFrozen) {
+		t.Errorf("Put on frozen cube: err = %v, want ErrFrozen", err)
+	}
+	if err := c.Replace(dims, 2); !errors.Is(err, ErrFrozen) {
+		t.Errorf("Replace on frozen cube: err = %v, want ErrFrozen", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Delete on frozen cube must panic")
+			}
+		}()
+		c.Delete(dims)
+	}()
+	// Reads still work, and the frozen tuple is intact.
+	if v, ok := c.Get(dims); !ok || v != 1 {
+		t.Errorf("Get after rejected mutations = %v, %v", v, ok)
+	}
+	if cl := c.Clone(); cl.Frozen() {
+		t.Error("Clone inherits frozen flag")
+	}
+}

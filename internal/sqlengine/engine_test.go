@@ -212,6 +212,57 @@ INSERT INTO T(k, v) VALUES ('a', 2), ('b', 0), ('c', -1)`)
 	}
 }
 
+// TestKleeneThreeValuedLogic is the regression test for the NULL
+// short-circuit bug in and/or: any NULL operand used to make the whole
+// predicate NULL, but SQL's three-valued logic says a dominant known
+// operand decides — TRUE OR NULL is TRUE and FALSE AND NULL is FALSE.
+// 1/v is NULL for the v=0 row, giving each case a genuinely NULL operand.
+func TestKleeneThreeValuedLogic(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE T (k VARCHAR, v DOUBLE);
+INSERT INTO T(k, v) VALUES ('pos', 2), ('zero', 0), ('neg', -1)`)
+
+	// NULL OR TRUE = TRUE: the 'zero' row survives a tautological right
+	// disjunct. Before the fix it was dropped (1 row instead of 2).
+	res := mustQuery(t, db, "SELECT k FROM T WHERE 1 / v > 0 OR v >= 0")
+	if len(res.Rows) != 2 {
+		t.Errorf("TRUE-dominant OR kept %d rows, want 2 (pos, zero)", len(res.Rows))
+	}
+	// Symmetric: the known operand on the left.
+	res = mustQuery(t, db, "SELECT k FROM T WHERE v >= 0 OR 1 / v > 0")
+	if len(res.Rows) != 2 {
+		t.Errorf("left-dominant OR kept %d rows, want 2", len(res.Rows))
+	}
+	// FALSE AND NULL = FALSE, visible through NOT: NOT(FALSE) keeps the
+	// row where NOT(NULL) would drop it.
+	res = mustQuery(t, db, "SELECT k FROM T WHERE NOT (v > 0 AND 1 / v > 0)")
+	if len(res.Rows) != 2 {
+		t.Errorf("negated FALSE-dominant AND kept %d rows, want 2 (zero, neg)", len(res.Rows))
+	}
+	// Genuinely undecidable combinations stay NULL and drop the row.
+	res = mustQuery(t, db, "SELECT k FROM T WHERE 1 / v > 0 OR v < 0")
+	if len(res.Rows) != 2 {
+		t.Errorf("NULL OR FALSE kept %d rows, want 2 (pos, neg)", len(res.Rows))
+	}
+	res = mustQuery(t, db, "SELECT k FROM T WHERE 1 / v > 0 AND v >= 0")
+	if len(res.Rows) != 1 {
+		t.Errorf("NULL AND TRUE kept %d rows, want 1 (pos)", len(res.Rows))
+	}
+	// In the select list the Kleene result is a value: TRUE OR NULL
+	// emits true rather than a dropped row.
+	res = mustQuery(t, db, "SELECT k, v >= 0 OR 1 / v > 0 FROM T")
+	if len(res.Rows) != 3 {
+		t.Errorf("select-list OR produced %d rows, want 3 (no NULL output)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		want := row[0].String() != "neg"
+		if b, ok := row[1].AsBool(); !ok || b != want {
+			t.Errorf("row %v: OR value = %v, want %v", row[0], row[1], want)
+		}
+	}
+}
+
 func TestScalarFunctions(t *testing.T) {
 	db := NewDB()
 	mustExec(t, db, "CREATE TABLE T (v DOUBLE); INSERT INTO T(v) VALUES (8)")
@@ -230,6 +281,36 @@ func TestShiftFunction(t *testing.T) {
 	res := mustQuery(t, db, "SELECT SHIFT(q, 2), q + 1, q - 1 FROM T")
 	if res.Rows[0][0].String() != "2001-Q3" || res.Rows[0][1].String() != "2001-Q2" || res.Rows[0][2].String() != "2000-Q4" {
 		t.Errorf("shift results = %v", res.Rows[0])
+	}
+}
+
+// TestPeriodArithmeticCommutes: a period on either side of + is the same
+// shift (1 + Q used to fall into the numeric path and error out), its
+// inferred column type is a period, and 1 - Q stays a clear error rather
+// than a confusing "non-numeric values" one.
+func TestPeriodArithmeticCommutes(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE T (q QUARTER, v DOUBLE); INSERT INTO T(q, v) VALUES ('2001-Q1', 1)")
+	res := mustQuery(t, db, "SELECT 1 + q, q + 1 FROM T")
+	if res.Rows[0][0].String() != "2001-Q2" || res.Rows[0][1].String() != "2001-Q2" {
+		t.Errorf("1 + q results = %v", res.Rows[0])
+	}
+	if res.Cols[0].Type.Kind != KPeriod || res.Cols[0].Type.Freq != model.Quarterly {
+		t.Errorf("inferred type of 1 + q = %v, want quarterly period", res.Cols[0].Type)
+	}
+	// Period shifts join symmetrically: the paper's G1.Q = G2.Q - 1
+	// condition can equally be written G1.Q + 1 = G2.Q or 1 + G1.Q = G2.Q.
+	res = mustQuery(t, db, "SELECT a.q FROM T a, T b WHERE 1 + a.q = SHIFT(b.q, 1)")
+	if len(res.Rows) != 1 {
+		t.Errorf("commuted shift join rows = %d, want 1", len(res.Rows))
+	}
+	if _, err := db.Query("SELECT 1 - q FROM T"); err == nil ||
+		!strings.Contains(err.Error(), "cannot subtract a period") {
+		t.Errorf("1 - q error = %v, want explicit period-subtraction error", err)
+	}
+	if _, err := db.Query("SELECT 1.5 + q FROM T"); err == nil ||
+		!strings.Contains(err.Error(), "integer offset") {
+		t.Errorf("1.5 + q error = %v, want integer-offset error", err)
 	}
 }
 

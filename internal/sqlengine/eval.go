@@ -500,8 +500,20 @@ func (db *DB) evalAggExpr(e expr, sc *scope, rep []model.Value, rows [][]model.V
 		return db.applyScalarCall(e.name, vals)
 	case *binExpr:
 		l, err := db.evalAggExpr(e.l, sc, rep, rows)
-		if err != nil || !l.IsValid() {
+		if err != nil {
 			return l, err
+		}
+		if e.op == "and" || e.op == "or" {
+			// Same Kleene rule as evalExpr: a dominant known operand
+			// decides even when the other side is NULL.
+			r, err := db.evalAggExpr(e.r, sc, rep, rows)
+			if err != nil {
+				return r, err
+			}
+			return kleeneLogic(e.op, l, r)
+		}
+		if !l.IsValid() {
+			return l, nil
 		}
 		r, err := db.evalAggExpr(e.r, sc, rep, rows)
 		if err != nil || !r.IsValid() {
@@ -637,8 +649,20 @@ func (db *DB) evalExpr(e expr, sc *scope, row []model.Value) (model.Value, error
 		return applyUnary(e.op, x)
 	case *binExpr:
 		l, err := db.evalExpr(e.l, sc, row)
-		if err != nil || !l.IsValid() {
+		if err != nil {
 			return l, err
+		}
+		if e.op == "and" || e.op == "or" {
+			// No NULL short-circuit: FALSE AND NULL is FALSE and
+			// TRUE OR NULL is TRUE, so the right side must be seen.
+			r, err := db.evalExpr(e.r, sc, row)
+			if err != nil {
+				return r, err
+			}
+			return kleeneLogic(e.op, l, r)
+		}
+		if !l.IsValid() {
+			return l, nil
 		}
 		r, err := db.evalExpr(e.r, sc, row)
 		if err != nil || !r.IsValid() {
@@ -712,6 +736,36 @@ func (db *DB) applyScalarCall(name string, vals []model.Value) (model.Value, err
 	return model.Num(out), nil
 }
 
+// kleeneLogic is SQL's three-valued and/or (Kleene's strong logic): NULL
+// means "unknown", yet a dominant known operand still decides — FALSE
+// AND NULL is FALSE, TRUE OR NULL is TRUE; only genuinely undecidable
+// combinations stay NULL. A NULL result then drops the row like every
+// other NULL predicate.
+func kleeneLogic(op string, l, r model.Value) (model.Value, error) {
+	lb, lok := l.AsBool()
+	rb, rok := r.AsBool()
+	if (l.IsValid() && !lok) || (r.IsValid() && !rok) {
+		return model.Value{}, fmt.Errorf("sql: boolean operator over non-booleans")
+	}
+	switch op {
+	case "and":
+		if (lok && !lb) || (rok && !rb) {
+			return model.Bool(false), nil
+		}
+		if lok && rok {
+			return model.Bool(true), nil
+		}
+	case "or":
+		if (lok && lb) || (rok && rb) {
+			return model.Bool(true), nil
+		}
+		if lok && rok {
+			return model.Bool(false), nil
+		}
+	}
+	return model.Value{}, nil // NULL: unknown
+}
+
 func applyUnary(op string, x model.Value) (model.Value, error) {
 	switch op {
 	case "-":
@@ -734,15 +788,7 @@ func applyUnary(op string, x model.Value) (model.Value, error) {
 func applyBinary(op string, l, r model.Value) (model.Value, error) {
 	switch op {
 	case "and", "or":
-		lb, ok1 := l.AsBool()
-		rb, ok2 := r.AsBool()
-		if !ok1 || !ok2 {
-			return model.Value{}, fmt.Errorf("sql: boolean operator over non-booleans")
-		}
-		if op == "and" {
-			return model.Bool(lb && rb), nil
-		}
-		return model.Bool(lb || rb), nil
+		return kleeneLogic(op, l, r)
 	case "=", "<>", "<", "<=", ">", ">=":
 		l, r = coercePair(l, r)
 		c := l.Compare(r)
@@ -765,7 +811,10 @@ func applyBinary(op string, l, r model.Value) (model.Value, error) {
 		return model.Bool(res), nil
 	case "+", "-":
 		// Period arithmetic: Q - 1 shifts a period, as in the paper's
-		// generated join condition G1.Q = G2.Q - 1.
+		// generated join condition G1.Q = G2.Q - 1. Addition commutes, so
+		// 1 + Q is the same shift; 1 - Q has no period meaning and is
+		// rejected explicitly rather than falling through to the numeric
+		// path's confusing "non-numeric values" error.
 		if p, ok := l.AsPeriod(); ok {
 			n, ok := r.AsInt()
 			if !ok {
@@ -773,6 +822,16 @@ func applyBinary(op string, l, r model.Value) (model.Value, error) {
 			}
 			if op == "-" {
 				n = -n
+			}
+			return model.Per(p.Shift(n)), nil
+		}
+		if p, ok := r.AsPeriod(); ok {
+			if op == "-" {
+				return model.Value{}, fmt.Errorf("sql: cannot subtract a period from a number")
+			}
+			n, ok := l.AsInt()
+			if !ok {
+				return model.Value{}, fmt.Errorf("sql: period arithmetic needs an integer offset")
 			}
 			return model.Per(p.Shift(n)), nil
 		}
@@ -848,6 +907,12 @@ func (db *DB) inferType(e expr, sc *scope) ColType {
 		lt := db.inferType(e.l, sc)
 		if lt.Kind == KPeriod && (e.op == "+" || e.op == "-") {
 			return lt
+		}
+		// Commutative period shift: 1 + Q is a period too.
+		if e.op == "+" {
+			if rt := db.inferType(e.r, sc); rt.Kind == KPeriod {
+				return rt
+			}
 		}
 		return ColType{Kind: KDouble}
 	case *callExpr:

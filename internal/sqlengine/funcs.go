@@ -60,7 +60,15 @@ func seriesTabular(opName string, args []*Table, params []float64) (*Table, erro
 		}
 		pts = append(pts, point{p: p, v: v})
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].p.Compare(pts[j].p) < 0 })
+	// Duplicate periods (a malformed but reachable input) must order
+	// deterministically: sort.Slice is unstable, so tie-break on value to
+	// keep repeated runs byte-identical.
+	sort.Slice(pts, func(i, j int) bool {
+		if c := pts[i].p.Compare(pts[j].p); c != 0 {
+			return c < 0
+		}
+		return pts[i].v < pts[j].v
+	})
 
 	vals := make([]float64, len(pts))
 	for i, pt := range pts {

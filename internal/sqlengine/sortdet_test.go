@@ -1,0 +1,55 @@
+package sqlengine
+
+import (
+	"testing"
+
+	"exlengine/internal/model"
+)
+
+// TestSeriesTabularDuplicatePeriodsDeterministic is the regression test
+// for the unstable series sort in tabular functions: a table with
+// duplicate periods (reachable by projecting a panel onto its time
+// column) used to order equal periods by row position, so CUMSUM output
+// depended on upstream row order. The tie-break on value makes it a pure
+// function of the table's contents.
+func TestSeriesTabularDuplicatePeriodsDeterministic(t *testing.T) {
+	const periods, dups = 8, 8
+	mkTable := func(reverse bool) *Table {
+		tbl := &Table{
+			Name: "S",
+			Cols: []Column{
+				{Name: "t", Type: ColType{Kind: KPeriod, Freq: model.Quarterly}},
+				{Name: "v", Type: ColType{Kind: KDouble}},
+			},
+		}
+		n := periods * dups
+		for i := 0; i < n; i++ {
+			k := i
+			if reverse {
+				k = n - 1 - i
+			}
+			q := model.NewQuarterly(2000, 1).Shift(int64(k % periods))
+			tbl.Rows = append(tbl.Rows, []model.Value{model.Per(q), model.Num(float64(k))})
+		}
+		return tbl
+	}
+
+	a, err := seriesTabular("cumsum", []*Table{mkTable(false)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := seriesTabular("cumsum", []*Table{mkTable(true)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) || len(a.Rows) != periods*dups {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !a.Rows[i][j].Equal(b.Rows[i][j]) {
+				t.Fatalf("row %d differs between input orders: %v vs %v", i, a.Rows[i], b.Rows[i])
+			}
+		}
+	}
+}

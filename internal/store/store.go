@@ -4,6 +4,9 @@
 // with its validity instant, and reads can be current or as-of a past
 // instant. A CSV import/export layer feeds elementary cubes into the
 // system and delivers results out of it.
+//
+// Reads are zero-copy: versions are frozen on write and handed out by
+// reference (see Store), and a generation counter versions snapshots.
 package store
 
 import (
@@ -19,10 +22,21 @@ import (
 )
 
 // Store is a versioned, concurrency-safe cube repository.
+//
+// Stored cube versions are frozen (model.Cube.Freeze) at write time, so
+// reads are zero-copy: Get, GetAsOf and Snapshot return the stored
+// instances by reference instead of deep-cloning them under the lock.
+// Callers that need to mutate a returned cube must Clone it first; the
+// frozen-cube discipline turns accidental in-place mutation into an
+// explicit ErrFrozen failure instead of a silent data race.
 type Store struct {
 	mu      sync.RWMutex
 	cubes   map[string][]version
 	schemas map[string]model.Schema
+	// gen counts committed writes (Put and PutAll each bump it once), so
+	// snapshots can be versioned: two snapshots with equal generation are
+	// guaranteed identical.
+	gen uint64
 }
 
 type version struct {
@@ -73,9 +87,34 @@ func (s *Store) Names() []string {
 	return out
 }
 
+// frozenCopy returns the cube as an immutable instance suitable for
+// storing: an already-frozen cube is shared as-is (it can never change
+// again), anything else is cloned and the clone frozen, so the caller
+// keeps exclusive ownership of its original.
+func frozenCopy(c *model.Cube) *model.Cube {
+	if c.Frozen() {
+		return c
+	}
+	return c.Clone().Freeze()
+}
+
+// appendVersion adds a frozen version to a cube's history, replacing the
+// latest entry when asOf is exactly equal (last write wins) so GetAsOf
+// never sees two versions at the same instant. The caller validated
+// ordering and holds the write lock.
+func appendVersion(vs []version, v version) []version {
+	if n := len(vs); n > 0 && vs[n-1].asOf.Equal(v.asOf) {
+		vs[n-1] = v
+		return vs
+	}
+	return append(vs, v)
+}
+
 // Put stores a new version of the cube, valid from asOf. The cube's
 // schema is declared implicitly on first write. Versions must be written
-// in non-decreasing asOf order per cube.
+// in non-decreasing asOf order per cube; a second write at exactly the
+// latest asOf replaces that version (last write wins), keeping Versions
+// duplicate-free and GetAsOf unambiguous.
 func (s *Store) Put(c *model.Cube, asOf time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -91,7 +130,8 @@ func (s *Store) Put(c *model.Cube, asOf time.Time) error {
 	if n := len(vs); n > 0 && vs[n-1].asOf.After(asOf) {
 		return fmt.Errorf("store: version for %s at %v is older than the latest (%v)", name, asOf, vs[n-1].asOf)
 	}
-	s.cubes[name] = append(vs, version{asOf: asOf, cube: c.Clone()})
+	s.cubes[name] = appendVersion(vs, version{asOf: asOf, cube: frozenCopy(c)})
+	s.gen++
 	return nil
 }
 
@@ -127,12 +167,17 @@ func (s *Store) PutAll(cubes map[string]*model.Cube, asOf time.Time) error {
 		if _, ok := s.schemas[name]; !ok {
 			s.schemas[name] = c.Schema()
 		}
-		s.cubes[name] = append(s.cubes[name], version{asOf: asOf, cube: c.Clone()})
+		s.cubes[name] = appendVersion(s.cubes[name], version{asOf: asOf, cube: frozenCopy(c)})
+	}
+	if len(names) > 0 {
+		s.gen++
 	}
 	return nil
 }
 
-// Get returns the current (latest) version of the cube.
+// Get returns the current (latest) version of the cube. The returned
+// cube is frozen and shared: reading it is free of copies and locks, but
+// mutating it requires an explicit Clone.
 func (s *Store) Get(name string) (*model.Cube, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -140,11 +185,11 @@ func (s *Store) Get(name string) (*model.Cube, bool) {
 	if len(vs) == 0 {
 		return nil, false
 	}
-	return vs[len(vs)-1].cube.Clone(), true
+	return vs[len(vs)-1].cube, true
 }
 
 // GetAsOf returns the version of the cube valid at instant t (the newest
-// version with asOf <= t).
+// version with asOf <= t). The returned cube is frozen and shared.
 func (s *Store) GetAsOf(name string, t time.Time) (*model.Cube, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -153,7 +198,16 @@ func (s *Store) GetAsOf(name string, t time.Time) (*model.Cube, bool) {
 	if i == 0 {
 		return nil, false
 	}
-	return vs[i-1].cube.Clone(), true
+	return vs[i-1].cube, true
+}
+
+// Generation returns the store's write generation: it increases by one
+// on every committed Put/PutAll, so equal generations imply identical
+// store contents.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
 }
 
 // Versions returns the validity instants of the cube's versions, oldest
@@ -170,17 +224,26 @@ func (s *Store) Versions(name string) []time.Time {
 }
 
 // Snapshot returns the current version of every stored cube, keyed by
-// name — the source instance handed to the execution engines.
+// name — the source instance handed to the execution engines. The map is
+// fresh but the cubes are frozen shared references, so a snapshot costs
+// O(#cubes) regardless of how many tuples they hold.
 func (s *Store) Snapshot() map[string]*model.Cube {
+	snap, _ := s.SnapshotVersioned()
+	return snap
+}
+
+// SnapshotVersioned is Snapshot plus the store generation the snapshot
+// was taken at, read atomically under one lock acquisition.
+func (s *Store) SnapshotVersioned() (map[string]*model.Cube, uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]*model.Cube, len(s.cubes))
 	for name, vs := range s.cubes {
 		if len(vs) > 0 {
-			out[name] = vs[len(vs)-1].cube.Clone()
+			out[name] = vs[len(vs)-1].cube
 		}
 	}
-	return out
+	return out, s.gen
 }
 
 // WriteCSV exports a cube: a header of dimension names plus the measure,

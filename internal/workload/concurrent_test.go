@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"exlengine/internal/engine"
+	"exlengine/internal/obs"
+)
+
+// newGDPEngine builds an engine loaded with the GDP program and its
+// synthetic source cubes.
+func newGDPEngine(t *testing.T, cfg GDPConfig, opts ...engine.Option) *engine.Engine {
+	t.Helper()
+	eng := engine.New(opts...)
+	if err := eng.RegisterProgram("gdp", GDPProgram); err != nil {
+		t.Fatal(err)
+	}
+	data := GDPSource(cfg)
+	for _, name := range []string{"PDR", "RGDPPC"} {
+		if err := eng.PutCube(data[name], time.Unix(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// TestRunConcurrently exercises the zero-copy read path under real
+// concurrency: N workers re-running the GDP plan against one shared
+// store while reading every cube back. Under `go test -race` this is the
+// regression test for the frozen-cube discipline — before the store
+// handed out shared references, races here were prevented only by deep
+// clones.
+func TestRunConcurrently(t *testing.T) {
+	mx := obs.NewRegistry()
+	eng := newGDPEngine(t, GDPConfig{Days: 120, Regions: 3},
+		engine.WithParallelDispatch(), engine.WithMetrics(mx))
+	asOf := time.Unix(1, 0)
+	cfg := ConcurrentConfig{Workers: 4, Iters: 3}
+	runs, err := RunConcurrently(context.Background(), cfg, func(ctx context.Context) error {
+		if _, err := eng.Run(ctx, engine.RunAt(asOf)); err != nil {
+			return err
+		}
+		// Snapshot-style read-back over shared frozen references.
+		for _, name := range eng.CubeNames() {
+			if c, ok := eng.Cube(name); ok && c.Len() < 0 {
+				return fmt.Errorf("negative cube size for %s", name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Workers * cfg.Iters; runs != want {
+		t.Fatalf("completed %d runs, want %d", runs, want)
+	}
+	if got := mx.Counter(obs.MetricRuns).Value(); got != int64(runs) {
+		t.Errorf("runs counter = %d, want %d", got, runs)
+	}
+	gdp, ok := eng.Cube("GDP")
+	if !ok || gdp.Len() == 0 {
+		t.Fatalf("GDP cube missing or empty after concurrent runs")
+	}
+	if !gdp.Frozen() {
+		t.Errorf("store returned an unfrozen cube")
+	}
+}
+
+// TestRunConcurrentlyPropagatesError: the first failure is reported and
+// the worker that hit it stops.
+func TestRunConcurrentlyPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	runs, err := RunConcurrently(context.Background(), ConcurrentConfig{Workers: 2, Iters: 3},
+		func(context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if runs != 0 {
+		t.Errorf("runs = %d, want 0", runs)
+	}
+}
