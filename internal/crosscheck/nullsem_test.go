@@ -29,6 +29,8 @@ D1 := A / B
 D2 := D1 + A
 D3 := D1 - B
 D4 := sum(D1)
+D5 := D1 * B
+D6 := abs(D1)
 `
 	schemaA := model.NewSchema("A", []model.Dim{{Name: "t", Type: model.TQuarter}}, "v")
 	schemaB := model.NewSchema("B", []model.Dim{{Name: "t", Type: model.TQuarter}}, "v")

@@ -1,0 +1,292 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"exlengine/internal/sqlengine"
+)
+
+// This file fuzzes the SQL dialect's three-valued logic directly. EXL
+// itself has no booleans — comparisons, AND/OR/NOT and NULL literals
+// only exist inside the generated SQL (join conditions, WHERE residues)
+// — so random EXL programs exercise them indirectly at best. Here random
+// boolean and arithmetic expression trees over NULL, constants and a
+// column are evaluated by the engine and checked against an independent
+// Kleene-3VL reference evaluator.
+//
+// The engine has no IS NULL operator, so a boolean expression B is
+// decided with two queries over a one-row table: WHERE B keeps the row
+// iff B is TRUE, and WHERE NOT B keeps it iff B is FALSE; if neither
+// keeps it, B is NULL. A numeric expression N is projected as an output
+// column: a NULL output drops the row, anything else returns the value.
+
+// tri is a three-valued truth value.
+type tri int8
+
+const (
+	triFalse tri = iota
+	triTrue
+	triNull
+)
+
+func (t tri) String() string {
+	switch t {
+	case triTrue:
+		return "TRUE"
+	case triFalse:
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// numv is a nullable float: the reference counterpart of a SQL DOUBLE.
+type numv struct {
+	val  float64
+	null bool
+}
+
+// ExprDivergence reports the engine disagreeing with the reference
+// evaluator on one expression.
+type ExprDivergence struct {
+	SQL  string
+	Want string
+	Got  string
+}
+
+func (d ExprDivergence) String() string {
+	return fmt.Sprintf("%s: engine says %s, reference says %s", d.SQL, d.Got, d.Want)
+}
+
+// colA is the value of the one-row table's single column.
+const colA = 7
+
+// exprGen builds random expression trees, computing the reference value
+// alongside the SQL text so both derive from the same tree.
+type exprGen struct {
+	rng *rand.Rand
+}
+
+// num generates a numeric expression.
+func (g *exprGen) num(depth int) (string, numv) {
+	if depth <= 0 || g.rng.Float64() < 0.3 {
+		switch g.rng.Intn(6) {
+		case 0:
+			return "NULL", numv{null: true}
+		case 1:
+			return "a", numv{val: colA}
+		case 2:
+			return "0", numv{}
+		case 3:
+			return "-2", numv{val: -2}
+		case 4:
+			return "1.5", numv{val: 1.5}
+		default:
+			return "3", numv{val: 3}
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0: // unary minus
+		s, v := g.num(depth - 1)
+		return "(- " + s + ")", numv{val: -v.val, null: v.null}
+	case 1: // abs
+		s, v := g.num(depth - 1)
+		return "abs(" + s + ")", numv{val: math.Abs(v.val), null: v.null}
+	default:
+		ls, lv := g.num(depth - 1)
+		rs, rv := g.num(depth - 1)
+		op := []string{"+", "-", "*", "/"}[g.rng.Intn(4)]
+		out := numv{null: lv.null || rv.null}
+		if !out.null {
+			switch op {
+			case "+":
+				out.val = lv.val + rv.val
+			case "-":
+				out.val = lv.val - rv.val
+			case "*":
+				out.val = lv.val * rv.val
+			case "/":
+				if rv.val == 0 {
+					out = numv{null: true} // undefined point → NULL
+				} else {
+					out.val = lv.val / rv.val
+				}
+			}
+		}
+		return "(" + ls + " " + op + " " + rs + ")", out
+	}
+}
+
+// boolean generates a boolean expression.
+func (g *exprGen) boolean(depth int) (string, tri) {
+	if depth <= 0 || g.rng.Float64() < 0.2 {
+		if g.rng.Intn(4) == 0 {
+			return "NULL", triNull
+		}
+		// Comparison atom.
+		ls, lv := g.num(1)
+		rs, rv := g.num(1)
+		op := []string{"=", "<>", "<", "<=", ">", ">="}[g.rng.Intn(6)]
+		return "(" + ls + " " + op + " " + rs + ")", compareRef(op, lv, rv)
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		s, v := g.boolean(depth - 1)
+		return "(NOT " + s + ")", notRef(v)
+	case 1:
+		ls, lv := g.boolean(depth - 1)
+		rs, rv := g.boolean(depth - 1)
+		return "(" + ls + " AND " + rs + ")", andRef(lv, rv)
+	default:
+		ls, lv := g.boolean(depth - 1)
+		rs, rv := g.boolean(depth - 1)
+		return "(" + ls + " OR " + rs + ")", orRef(lv, rv)
+	}
+}
+
+// Reference Kleene semantics: NULL is "unknown", comparisons and
+// arithmetic are NULL-strict, and a dominant known operand decides
+// and/or.
+func compareRef(op string, l, r numv) tri {
+	if l.null || r.null {
+		return triNull
+	}
+	var b bool
+	switch op {
+	case "=":
+		b = l.val == r.val
+	case "<>":
+		b = l.val != r.val
+	case "<":
+		b = l.val < r.val
+	case "<=":
+		b = l.val <= r.val
+	case ">":
+		b = l.val > r.val
+	case ">=":
+		b = l.val >= r.val
+	}
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+func notRef(v tri) tri {
+	switch v {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	default:
+		return triNull
+	}
+}
+
+func andRef(l, r tri) tri {
+	if l == triFalse || r == triFalse {
+		return triFalse
+	}
+	if l == triTrue && r == triTrue {
+		return triTrue
+	}
+	return triNull
+}
+
+func orRef(l, r tri) tri {
+	if l == triTrue || r == triTrue {
+		return triTrue
+	}
+	if l == triFalse && r == triFalse {
+		return triFalse
+	}
+	return triNull
+}
+
+// FuzzNullExprs runs n random expression cases (alternating boolean and
+// numeric) against a fresh engine and returns every divergence from the
+// reference evaluator. The error return is for engine malfunctions
+// (query errors), which abort the run.
+func FuzzNullExprs(seed int64, n int) ([]ExprDivergence, error) {
+	db := sqlengine.NewDB()
+	if err := db.Exec("CREATE TABLE ONE (a DOUBLE); INSERT INTO ONE(a) VALUES (7);"); err != nil {
+		return nil, fmt.Errorf("difftest: seeding expr table: %w", err)
+	}
+	g := &exprGen{rng: rand.New(rand.NewSource(seed))}
+	var out []ExprDivergence
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s, want := g.boolean(3)
+			got, err := evalBool(db, s)
+			if err != nil {
+				return out, err
+			}
+			if got != want {
+				out = append(out, ExprDivergence{SQL: s, Want: want.String(), Got: got.String()})
+			}
+		} else {
+			s, want := g.num(3)
+			got, err := evalNum(db, s)
+			if err != nil {
+				return out, err
+			}
+			if !numAgree(got, want) {
+				out = append(out, ExprDivergence{SQL: s, Want: fmtNum(want), Got: fmtNum(got)})
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalBool decides a boolean expression with the WHERE/WHERE NOT pair.
+func evalBool(db *sqlengine.DB, s string) (tri, error) {
+	pos, err := db.Query("SELECT a FROM ONE WHERE " + s)
+	if err != nil {
+		return triNull, fmt.Errorf("difftest: WHERE %s: %w", s, err)
+	}
+	if len(pos.Rows) == 1 {
+		return triTrue, nil
+	}
+	neg, err := db.Query("SELECT a FROM ONE WHERE NOT " + s)
+	if err != nil {
+		return triNull, fmt.Errorf("difftest: WHERE NOT %s: %w", s, err)
+	}
+	if len(neg.Rows) == 1 {
+		return triFalse, nil
+	}
+	return triNull, nil
+}
+
+// evalNum projects a numeric expression; a dropped row means NULL.
+func evalNum(db *sqlengine.DB, s string) (numv, error) {
+	res, err := db.Query("SELECT a, " + s + " AS x FROM ONE")
+	if err != nil {
+		return numv{}, fmt.Errorf("difftest: SELECT %s: %w", s, err)
+	}
+	if len(res.Rows) == 0 {
+		return numv{null: true}, nil
+	}
+	f, ok := res.Rows[0][1].AsNumber()
+	if !ok {
+		return numv{}, fmt.Errorf("difftest: SELECT %s returned non-numeric %v", s, res.Rows[0][1])
+	}
+	return numv{val: f}, nil
+}
+
+func numAgree(a, b numv) bool {
+	if a.null || b.null {
+		return a.null == b.null
+	}
+	// The engine evaluates the identical tree with identical float64
+	// operations, so exact equality is the contract.
+	return a.val == b.val || (math.IsNaN(a.val) && math.IsNaN(b.val))
+}
+
+func fmtNum(v numv) string {
+	if v.null {
+		return "NULL"
+	}
+	return fmt.Sprintf("%g", v.val)
+}

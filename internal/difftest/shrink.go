@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"sort"
+
+	"exlengine/internal/model"
+)
+
+// Pred reports whether a candidate case still exhibits the failure being
+// minimized. Candidates that no longer compile should return false.
+type Pred func(*Case) bool
+
+// Diverges is the standard shrinking predicate: the case compiles, the
+// chase succeeds, and at least one engine disagrees.
+func Diverges(tol float64) Pred {
+	return func(c *Case) bool {
+		res, err := Run(c, tol)
+		return err == nil && len(res.Divergences) > 0
+	}
+}
+
+// Shrink greedily minimizes a failing case while pred keeps holding:
+// statements are dropped last-to-first (a statement referenced by a
+// later one fails analysis, so pred rejects that candidate and it is
+// restored), then source tuples are removed one at a time. The passes
+// repeat until a full sweep removes nothing, so the result is 1-minimal:
+// removing any single statement or tuple makes the failure disappear.
+func Shrink(c *Case, pred Pred) *Case {
+	cur := c.Clone()
+	if !pred(cur) {
+		return cur // not failing — nothing to minimize
+	}
+	for changed := true; changed; {
+		changed = false
+		// Statements, last to first so dependents go before dependencies.
+		for i := len(cur.Stmts) - 1; i >= 0; i-- {
+			if len(cur.Stmts) == 1 {
+				break
+			}
+			cand := cur.Clone()
+			cand.Stmts = append(cand.Stmts[:i], cand.Stmts[i+1:]...)
+			if pred(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		// Source tuples, cube by cube in stable order.
+		names := make([]string, 0, len(cur.Data))
+		for n := range cur.Data {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			for i := 0; i < len(cur.Data[name].Tuples()); i++ {
+				cand := cur.Clone()
+				cand.Data[name] = cubeWithout(cur.Data[name], i)
+				if pred(cand) {
+					cur = cand
+					changed = true
+					i-- // the tuple at this index is now a different one
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// cubeWithout rebuilds the cube minus the tuple at index i (in Tuples()
+// order).
+func cubeWithout(c *model.Cube, i int) *model.Cube {
+	out := model.NewCube(c.Schema())
+	for j, tu := range c.Tuples() {
+		if j == i {
+			continue
+		}
+		_ = out.Put(tu.Dims, tu.Measure)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"exlengine/internal/model"
+)
+
+// TestShrinkMinimizes drives the shrinker with a synthetic failure
+// predicate: the "bug" needs statement D02 and the 2001 SY tuple. The
+// minimized case must contain exactly those and nothing else.
+func TestShrinkMinimizes(t *testing.T) {
+	c := GenerateCase(7, 8)
+	if len(c.Stmts) != 8 {
+		t.Fatalf("generator produced %d statements, want 8", len(c.Stmts))
+	}
+	needTuple := []model.Value{model.Per(model.NewAnnual(2001))}
+	if _, ok := c.Data["SY"].Get(needTuple); !ok {
+		// The seed's random gaps removed 2001; put it back so the
+		// predicate is satisfiable.
+		if err := c.Data["SY"].Put(needTuple, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred := func(cand *Case) bool {
+		hasStmt := false
+		for _, s := range cand.Stmts {
+			if strings.HasPrefix(s, "D02 ") {
+				hasStmt = true
+			}
+		}
+		_, hasTuple := cand.Data["SY"].Get(needTuple)
+		return hasStmt && hasTuple
+	}
+	min := Shrink(c, pred)
+	if len(min.Stmts) != 1 || !strings.HasPrefix(min.Stmts[0], "D02 ") {
+		t.Fatalf("shrinker kept statements %v, want only D02", min.Stmts)
+	}
+	total := 0
+	for _, cube := range min.Data {
+		total += len(cube.Tuples())
+	}
+	if total != 1 {
+		t.Fatalf("shrinker kept %d tuples, want 1:\n%s", total, min.DataCSV())
+	}
+	if _, ok := min.Data["SY"].Get(needTuple); !ok {
+		t.Fatal("shrinker removed the tuple the predicate requires")
+	}
+	if !pred(min) {
+		t.Fatal("minimized case no longer satisfies the predicate")
+	}
+}
+
+// TestShrinkNonFailing: a passing case is returned untouched.
+func TestShrinkNonFailing(t *testing.T) {
+	c := GenerateCase(9, 4)
+	min := Shrink(c, func(*Case) bool { return false })
+	if min.Source() != c.Source() {
+		t.Fatal("shrinker modified a non-failing case")
+	}
+}
+
+// TestKnownCaseFormatRoundTrip: FormatKnownCase output parses back into
+// an equivalent case, so CLI-emitted reproductions are directly
+// committable.
+func TestKnownCaseFormatRoundTrip(t *testing.T) {
+	c := GenerateCase(11, 5)
+	text := FormatKnownCase("tracking note line", c)
+	kc, err := parseKnownCase("rt", text)
+	if err != nil {
+		t.Fatalf("formatted case does not parse back: %v\n%s", err, text)
+	}
+	if kc.Note != "tracking note line" {
+		t.Fatalf("note round trip: %q", kc.Note)
+	}
+	if kc.Case.Source() != c.Source() {
+		t.Fatalf("source round trip:\n%s\nvs\n%s", kc.Case.Source(), c.Source())
+	}
+	for name, cube := range c.Data {
+		got := kc.Case.Data[name]
+		if got == nil {
+			t.Fatalf("cube %s lost in round trip", name)
+		}
+		if !cube.Equal(got, 1e-12) {
+			t.Fatalf("cube %s changed in round trip:\n%s", name, strings.Join(cube.Diff(got, 1e-12, 5), "\n"))
+		}
+	}
+}

@@ -512,17 +512,14 @@ func (db *DB) evalAggExpr(e expr, sc *scope, rep []model.Value, rows [][]model.V
 			}
 			return kleeneLogic(e.op, l, r)
 		}
-		if !l.IsValid() {
-			return l, nil
-		}
 		r, err := db.evalAggExpr(e.r, sc, rep, rows)
-		if err != nil || !r.IsValid() {
+		if err != nil {
 			return r, err
 		}
 		return applyBinary(e.op, l, r)
 	case *unaryExpr:
 		x, err := db.evalAggExpr(e.x, sc, rep, rows)
-		if err != nil || !x.IsValid() {
+		if err != nil {
 			return x, err
 		}
 		return applyUnary(e.op, x)
@@ -643,7 +640,7 @@ func (db *DB) evalExpr(e expr, sc *scope, row []model.Value) (model.Value, error
 		return row[off], nil
 	case *unaryExpr:
 		x, err := db.evalExpr(e.x, sc, row)
-		if err != nil || !x.IsValid() {
+		if err != nil {
 			return x, err
 		}
 		return applyUnary(e.op, x)
@@ -661,13 +658,12 @@ func (db *DB) evalExpr(e expr, sc *scope, row []model.Value) (model.Value, error
 			}
 			return kleeneLogic(e.op, l, r)
 		}
-		if !l.IsValid() {
-			return l, nil
-		}
 		r, err := db.evalExpr(e.r, sc, row)
-		if err != nil || !r.IsValid() {
+		if err != nil {
 			return r, err
 		}
+		// applyBinary owns NULL propagation (comparisons and arithmetic
+		// are NULL-strict), so NULL operands flow through unguarded.
 		return applyBinary(e.op, l, r)
 	case *callExpr:
 		if ops.IsAggregation(e.name) || e.name == "count" {
@@ -767,6 +763,11 @@ func kleeneLogic(op string, l, r model.Value) (model.Value, error) {
 }
 
 func applyUnary(op string, x model.Value) (model.Value, error) {
+	// NULL-strict under Kleene 3VL: the negation (numeric or logical) of
+	// an unknown value is unknown, never an error.
+	if !x.IsValid() {
+		return model.Value{}, nil
+	}
 	switch op {
 	case "-":
 		f, ok := x.AsNumber()
@@ -786,9 +787,19 @@ func applyUnary(op string, x model.Value) (model.Value, error) {
 }
 
 func applyBinary(op string, l, r model.Value) (model.Value, error) {
-	switch op {
-	case "and", "or":
+	if op == "and" || op == "or" {
+		// Kleene and/or must see NULL operands: a dominant known side
+		// still decides (FALSE AND NULL = FALSE, TRUE OR NULL = TRUE).
 		return kleeneLogic(op, l, r)
+	}
+	// Every other operator is NULL-strict: comparing against or computing
+	// with an unknown value yields unknown, so NULL = x is NULL (not
+	// FALSE) and NULL + x is NULL (not an error). WHERE then filters the
+	// NULL predicate and SELECT drops the NULL output row.
+	if !l.IsValid() || !r.IsValid() {
+		return model.Value{}, nil
+	}
+	switch op {
 	case "=", "<>", "<", "<=", ">", ">=":
 		l, r = coercePair(l, r)
 		c := l.Compare(r)

@@ -1,0 +1,181 @@
+package sqlengine
+
+import (
+	"testing"
+
+	"exlengine/internal/model"
+)
+
+// nullDB builds a one-row table so scalar expressions can be evaluated
+// through the full Query path. SELECT outputs that evaluate to NULL drop
+// the row, so "expression is NULL" is observed as zero result rows with
+// no error.
+func nullDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `
+CREATE TABLE ONE (a DOUBLE);
+INSERT INTO ONE(a) VALUES (7);
+`)
+	return db
+}
+
+// queryRows runs a SELECT and returns the number of result rows, failing
+// the test on any error.
+func queryRows(t *testing.T, db *DB, sql string) int {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return len(res.Rows)
+}
+
+// TestNotNullIsNull: NOT NULL must be NULL under Kleene 3VL, not the
+// historical "NOT over non-boolean" error.
+func TestNotNullIsNull(t *testing.T) {
+	v, err := applyUnary("not", model.Value{})
+	if err != nil {
+		t.Fatalf("applyUnary(not, NULL): unexpected error %v", err)
+	}
+	if v.IsValid() {
+		t.Fatalf("applyUnary(not, NULL) = %v, want NULL", v)
+	}
+
+	db := nullDB(t)
+	// NULL predicate in WHERE filters the row; no error.
+	if n := queryRows(t, db, `SELECT a FROM ONE WHERE NOT NULL`); n != 0 {
+		t.Fatalf("WHERE NOT NULL kept %d rows, want 0", n)
+	}
+	// NOT over a NULL comparison is still NULL.
+	if n := queryRows(t, db, `SELECT a FROM ONE WHERE NOT (a = NULL)`); n != 0 {
+		t.Fatalf("WHERE NOT (a = NULL) kept %d rows, want 0", n)
+	}
+}
+
+// TestUnaryMinusNullIsNull: -NULL propagates NULL rather than erroring.
+func TestUnaryMinusNullIsNull(t *testing.T) {
+	v, err := applyUnary("-", model.Value{})
+	if err != nil {
+		t.Fatalf("applyUnary(-, NULL): unexpected error %v", err)
+	}
+	if v.IsValid() {
+		t.Fatalf("applyUnary(-, NULL) = %v, want NULL", v)
+	}
+	db := nullDB(t)
+	if n := queryRows(t, db, `SELECT a, -NULL AS x FROM ONE`); n != 0 {
+		t.Fatalf("SELECT -NULL kept %d rows, want 0 (NULL output drops the row)", n)
+	}
+}
+
+// TestComparisonsWithNullAreNull: all six comparators are NULL-strict —
+// NULL = x is NULL (unknown), never TRUE or FALSE.
+func TestComparisonsWithNullAreNull(t *testing.T) {
+	null := model.Value{}
+	seven := model.Num(7)
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		for _, pair := range [][2]model.Value{{null, seven}, {seven, null}, {null, null}} {
+			v, err := applyBinary(op, pair[0], pair[1])
+			if err != nil {
+				t.Fatalf("applyBinary(%s, %v, %v): unexpected error %v", op, pair[0], pair[1], err)
+			}
+			if v.IsValid() {
+				t.Fatalf("applyBinary(%s, %v, %v) = %v, want NULL", op, pair[0], pair[1], v)
+			}
+		}
+	}
+
+	db := nullDB(t)
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		// The NULL comparison filters the row: non-TRUE means filtered.
+		if n := queryRows(t, db, `SELECT a FROM ONE WHERE a `+op+` NULL`); n != 0 {
+			t.Fatalf("WHERE a %s NULL kept %d rows, want 0", op, n)
+		}
+		// NULL = NULL is also unknown, not TRUE.
+		if n := queryRows(t, db, `SELECT a FROM ONE WHERE NULL `+op+` NULL`); n != 0 {
+			t.Fatalf("WHERE NULL %s NULL kept %d rows, want 0", op, n)
+		}
+	}
+	// A dominant known operand still decides through Kleene or/and.
+	if n := queryRows(t, db, `SELECT a FROM ONE WHERE a = NULL OR a = 7`); n != 1 {
+		t.Fatalf("WHERE a = NULL OR a = 7 kept %d rows, want 1", n)
+	}
+	if n := queryRows(t, db, `SELECT a FROM ONE WHERE a = NULL AND a = 7`); n != 0 {
+		t.Fatalf("WHERE a = NULL AND a = 7 kept %d rows, want 0", n)
+	}
+}
+
+// TestArithmeticWithNullIsNull: + - * / over a NULL operand yields NULL,
+// aligning the SQL backend with frame NA and ETL dropped-row semantics.
+func TestArithmeticWithNullIsNull(t *testing.T) {
+	null := model.Value{}
+	seven := model.Num(7)
+	for _, op := range []string{"+", "-", "*", "/"} {
+		for _, pair := range [][2]model.Value{{null, seven}, {seven, null}, {null, null}} {
+			v, err := applyBinary(op, pair[0], pair[1])
+			if err != nil {
+				t.Fatalf("applyBinary(%s, %v, %v): unexpected error %v", op, pair[0], pair[1], err)
+			}
+			if v.IsValid() {
+				t.Fatalf("applyBinary(%s, %v, %v) = %v, want NULL", op, pair[0], pair[1], v)
+			}
+		}
+	}
+
+	db := nullDB(t)
+	for _, op := range []string{"+", "-", "*", "/"} {
+		if n := queryRows(t, db, `SELECT a, a `+op+` NULL AS x FROM ONE`); n != 0 {
+			t.Fatalf("SELECT a %s NULL kept %d rows, want 0 (NULL output drops the row)", op, n)
+		}
+	}
+	// NULL inside a scalar function call also propagates.
+	if n := queryRows(t, db, `SELECT a, abs(NULL) AS x FROM ONE`); n != 0 {
+		t.Fatalf("SELECT abs(NULL) kept %d rows, want 0", n)
+	}
+	// Aggregates skip NULLs: sum over the one non-NULL value is still 7.
+	res := mustQuery(t, db, `SELECT sum(a + NULL - NULL) AS s FROM ONE GROUP BY a`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("sum over all-NULL bag should yield no row, got %d rows", len(res.Rows))
+	}
+}
+
+// TestJoinKeysNeverMatchNull: hash-join equality is not Kleene TRUE for
+// NULL = NULL — a NULL key matches nothing on either side. Base tables
+// reject NULL inserts, so the tables are assembled directly.
+func TestJoinKeysNeverMatchNull(t *testing.T) {
+	db := NewDB()
+	strCol := ColType{Kind: KVarchar}
+	numCol := ColType{Kind: KDouble}
+	db.tables["l"] = &Table{
+		Name: "l",
+		Cols: []Column{{Name: "k", Type: strCol}, {Name: "x", Type: numCol}},
+		Rows: [][]model.Value{
+			{model.Str("a"), model.Num(1)},
+			{model.Value{}, model.Num(2)}, // NULL key
+		},
+	}
+	db.tables["r"] = &Table{
+		Name: "r",
+		Cols: []Column{{Name: "k", Type: strCol}, {Name: "y", Type: numCol}},
+		Rows: [][]model.Value{
+			{model.Str("a"), model.Num(10)},
+			{model.Value{}, model.Num(20)}, // NULL key
+		},
+	}
+	res := mustQuery(t, db, `SELECT l.x AS x, r.y AS y FROM l, r WHERE l.k = r.k`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("join matched %d rows, want 1 (NULL keys must not match)", len(res.Rows))
+	}
+	if x, _ := res.Rows[0][0].AsNumber(); x != 1 {
+		t.Fatalf("join kept wrong row: x = %v, want 1", res.Rows[0][0])
+	}
+}
+
+// TestNullLiteralParses pins the parser-level NULL keyword: it must be a
+// literal, not a column reference.
+func TestNullLiteralParses(t *testing.T) {
+	db := nullDB(t)
+	if _, err := db.Query(`SELECT a FROM ONE WHERE NULL`); err != nil {
+		t.Fatalf("NULL literal did not parse: %v", err)
+	}
+}

@@ -548,6 +548,9 @@ func (p *sqlParser) parsePrimary() (expr, error) {
 			return nil, err
 		}
 		return e, nil
+	case p.isKw("null"):
+		p.pos++
+		return &lit{v: model.Value{}}, nil
 	case p.cur().kind == tIdent:
 		name := p.next().text
 		if p.isSymbol("(") {

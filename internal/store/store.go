@@ -11,8 +11,10 @@ package store
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -20,6 +22,11 @@ import (
 
 	"exlengine/internal/model"
 )
+
+// ErrNotFound reports a cube (or cube version) that does not exist in the
+// store. Fetch and FetchAsOf wrap it with the cube name and, for as-of
+// reads, the requested instant, so errors.Is(err, ErrNotFound) works.
+var ErrNotFound = errors.New("store: cube not found")
 
 // Store is a versioned, concurrency-safe cube repository.
 //
@@ -179,26 +186,45 @@ func (s *Store) PutAll(cubes map[string]*model.Cube, asOf time.Time) error {
 // cube is frozen and shared: reading it is free of copies and locks, but
 // mutating it requires an explicit Clone.
 func (s *Store) Get(name string) (*model.Cube, bool) {
+	c, err := s.Fetch(name)
+	return c, err == nil
+}
+
+// Fetch is Get with a descriptive error: a missing cube yields an error
+// wrapping ErrNotFound instead of a bare false.
+func (s *Store) Fetch(name string) (*model.Cube, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	vs := s.cubes[name]
 	if len(vs) == 0 {
-		return nil, false
+		return nil, fmt.Errorf("%w: %s has no stored version", ErrNotFound, name)
 	}
-	return vs[len(vs)-1].cube, true
+	return vs[len(vs)-1].cube, nil
 }
 
 // GetAsOf returns the version of the cube valid at instant t (the newest
 // version with asOf <= t). The returned cube is frozen and shared.
 func (s *Store) GetAsOf(name string, t time.Time) (*model.Cube, bool) {
+	c, err := s.FetchAsOf(name, t)
+	return c, err == nil
+}
+
+// FetchAsOf is GetAsOf with a descriptive error. Asking for an instant
+// before the cube's first version — or for a cube that was never stored —
+// returns an error wrapping ErrNotFound that distinguishes the two cases.
+func (s *Store) FetchAsOf(name string, t time.Time) (*model.Cube, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	vs := s.cubes[name]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("%w: %s has no stored version", ErrNotFound, name)
+	}
 	i := sort.Search(len(vs), func(i int) bool { return vs[i].asOf.After(t) })
 	if i == 0 {
-		return nil, false
+		return nil, fmt.Errorf("%w: %s has no version at or before %v (first version is %v)",
+			ErrNotFound, name, t, vs[0].asOf)
 	}
-	return vs[i-1].cube, true
+	return vs[i-1].cube, nil
 }
 
 // Generation returns the store's write generation: it increases by one
@@ -248,6 +274,12 @@ func (s *Store) SnapshotVersioned() (map[string]*model.Cube, uint64) {
 
 // WriteCSV exports a cube: a header of dimension names plus the measure,
 // then one row per tuple in deterministic order.
+//
+// Non-finite measures (NaN, ±Inf) are rejected: a cube is a partial
+// function into the reals, undefined points are represented by absent
+// tuples rather than sentinel floats, and a NaN that slipped into a cube
+// would otherwise round-trip through text ("NaN" parses back) and poison
+// later comparisons, where NaN != NaN hides the corruption.
 func WriteCSV(w io.Writer, c *model.Cube) error {
 	cw := csv.NewWriter(w)
 	sch := c.Schema()
@@ -256,6 +288,10 @@ func WriteCSV(w io.Writer, c *model.Cube) error {
 		return err
 	}
 	for _, tu := range c.Tuples() {
+		if math.IsNaN(tu.Measure) || math.IsInf(tu.Measure, 0) {
+			return fmt.Errorf("store: cube %s has non-finite measure %v at %v; undefined points must be absent tuples, not NaN/Inf",
+				sch.Name, tu.Measure, tu.Dims)
+		}
 		rec := make([]string, 0, len(header))
 		for _, d := range tu.Dims {
 			rec = append(rec, d.String())
@@ -308,6 +344,12 @@ func ReadCSV(r io.Reader, sch model.Schema) (*model.Cube, error) {
 		mv, err := strconv.ParseFloat(rec[len(rec)-1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("store: CSV line %d: bad measure %q", line, rec[len(rec)-1])
+		}
+		// Mirror WriteCSV: "NaN"/"Inf" parse as floats but are not legal
+		// measures, so reject them at the boundary instead of letting them
+		// contaminate the cube.
+		if math.IsNaN(mv) || math.IsInf(mv, 0) {
+			return nil, fmt.Errorf("store: CSV line %d: non-finite measure %q; undefined points must be absent rows, not NaN/Inf", line, rec[len(rec)-1])
 		}
 		if err := c.Put(dims, mv); err != nil {
 			return nil, fmt.Errorf("store: CSV line %d: %w", line, err)
