@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	exlbench [-run all|e1|e2|...|e11] [-quick] [-workers N] [-iters N]
+//	exlbench [-run all|e1|e2|...|e12] [-quick] [-workers N] [-iters N]
+//	         [-store dir]
 package main
 
 import (
@@ -13,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"exlengine/internal/chase"
@@ -30,20 +33,23 @@ import (
 	"exlengine/internal/rgen"
 	"exlengine/internal/sqlengine"
 	"exlengine/internal/sqlgen"
+	"exlengine/internal/store/durable"
 	"exlengine/internal/workload"
 )
 
 var (
-	quick   bool
-	workers int
-	iters   int
+	quick    bool
+	workers  int
+	iters    int
+	storeDir string
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (e1..e11 or all)")
+	run := flag.String("run", "all", "experiment to run (e1..e12 or all)")
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps for fast runs")
 	flag.IntVar(&workers, "workers", 8, "e11: max concurrent run loops (sweep is 1..workers, doubling)")
 	flag.IntVar(&iters, "iters", 4, "e11: runs per worker")
+	flag.StringVar(&storeDir, "store", "", "e12: durable store directory (default: a temp dir, removed afterwards)")
 	flag.Parse()
 
 	experiments := []struct {
@@ -62,6 +68,7 @@ func main() {
 		{"e9", "E9: fused vs normalized mappings (ablation)", e9},
 		{"e10", "E10: chase scaling", e10},
 		{"e11", "E11: concurrent re-runs over a shared store (zero-copy reads + compile cache)", e11},
+		{"e12", "E12: durable store — WAL commit throughput, group commit, recovery time", e12},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -512,6 +519,95 @@ func countEngines(maxWorkers int) int {
 		n++
 	}
 	return n
+}
+
+// e12 measures the durable store: WAL commit throughput with per-commit
+// fsync vs group commit under concurrent writers, and recovery time on
+// reopen — once replaying the whole WAL record by record, once from the
+// snapshot that the first reopen itself wrote.
+func e12() {
+	commits := 512
+	if quick {
+		commits = 64
+	}
+	dir := storeDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "exlbench-e12-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	series := func(name string) *model.Cube {
+		return workload.Series(workload.SeriesConfig{
+			Name: name, Freq: model.Monthly, N: 60,
+			Seed: 1, Level: 100, Trend: 0.5, SeasonAmp: 5, NoiseAmp: 1,
+		})
+	}
+
+	fmt.Printf("%-28s %-9s %-12s %-12s %-8s\n", "configuration", "commits", "ms", "commits/s", "fsyncs")
+	for _, cfg := range []struct {
+		name    string
+		sub     string
+		window  time.Duration
+		writers int
+	}{
+		{"fsync per commit", "solo", 0, 1},
+		{fmt.Sprintf("group commit 2ms, %d writers", workers), "group", 2 * time.Millisecond, workers},
+	} {
+		st, err := durable.Open(filepath.Join(dir, cfg.sub), durable.WithGroupCommit(cfg.window))
+		if err != nil {
+			panic(err)
+		}
+		cubes := make([]*model.Cube, cfg.writers)
+		for i := range cubes {
+			cubes[i] = series(fmt.Sprintf("S%02d", i))
+			if err := st.Declare(cubes[i].Schema()); err != nil {
+				panic(err)
+			}
+		}
+		per := commits / cfg.writers
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.writers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					if err := st.Put(cubes[i], time.Unix(int64(k), 0)); err != nil {
+						panic(err)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		d := time.Since(start)
+		_, fsyncs := st.WALStats()
+		total := per * cfg.writers
+		fmt.Printf("%-28s %-9d %-12.2f %-12.1f %-8d\n", cfg.name, total,
+			float64(d.Microseconds())/1000, float64(total)/d.Seconds(), fsyncs)
+		if err := st.Close(); err != nil {
+			panic(err)
+		}
+	}
+
+	// Recovery: reopen the solo store twice. The first reopen replays the
+	// whole WAL; it also writes a fresh snapshot, so the second reopen
+	// recovers from the snapshot alone.
+	for _, pass := range []string{"replaying WAL", "from snapshot"} {
+		st, err := durable.Open(filepath.Join(dir, "solo"))
+		if err != nil {
+			panic(err)
+		}
+		rec := st.Recovery()
+		fmt.Printf("recovery %-14s: generation %d, %d record(s) replayed, %.2f ms\n",
+			pass, rec.Generation, rec.ReplayedRecords, float64(rec.Elapsed.Microseconds())/1000)
+		if err := st.Close(); err != nil {
+			panic(err)
+		}
+	}
 }
 
 func e10() {

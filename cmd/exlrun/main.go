@@ -4,7 +4,7 @@
 // Usage:
 //
 //	exlrun -program program.exl -data dir [-target auto|chase|sql|etl|frame]
-//	       [-out dir] [-report] [-trace[=json]] [-metrics]
+//	       [-out dir] [-store dir] [-report] [-trace[=json]] [-metrics]
 //	       [-timeout d] [-fragment-timeout d] [-retries n] [-no-fallback]
 //
 // The data directory must contain one <CUBE>.csv file per elementary cube,
@@ -25,6 +25,12 @@
 // -metrics prints the run's counters and latency histograms. All
 // diagnostics (-v, -report, -trace, -metrics) go to stderr, leaving
 // stdout for data.
+//
+// With -store, cubes persist in a crash-safe durable store (write-ahead
+// log + segment snapshots) in the given directory: every version from
+// every prior run survives restarts, a crash mid-commit recovers to the
+// last consistent state, and -metrics includes the durability counters
+// (store_wal_bytes_total, store_fsyncs_total, store_recovery_ms, …).
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"exlengine/internal/exl"
 	"exlengine/internal/obs"
 	"exlengine/internal/ops"
+	"exlengine/internal/store/durable"
 )
 
 // traceFlag implements -trace[=json]: a boolean flag that also accepts
@@ -82,6 +89,7 @@ func main() {
 	dataDir := flag.String("data", "", "directory with <CUBE>.csv inputs")
 	target := flag.String("target", "auto", "execution target: auto, chase, sql, etl, frame")
 	outDir := flag.String("out", "", "output directory (default: the data directory)")
+	storeDir := flag.String("store", "", "durable store directory (WAL + snapshots); empty = in-memory only")
 	verbose := flag.Bool("v", false, "print the run report")
 	report := flag.Bool("report", false, "print the fault-tolerance report (attempts, retries, fallbacks)")
 	var trace traceFlag
@@ -126,6 +134,19 @@ func main() {
 	if *metrics {
 		registry = obs.NewRegistry()
 		opts = append(opts, engine.WithMetrics(registry))
+	}
+	if *storeDir != "" {
+		st, err := durable.Open(*storeDir, durable.WithMetrics(registry))
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		if *verbose {
+			rec := st.Recovery()
+			fmt.Fprintf(os.Stderr, "store: recovered generation %d (snapshot %d, %d replayed, %d truncated) in %v\n",
+				rec.Generation, rec.SnapshotGen, rec.ReplayedRecords, rec.TruncatedRecords, rec.Elapsed)
+		}
+		opts = append(opts, engine.WithStore(st))
 	}
 	eng := engine.New(opts...)
 	if err := eng.RegisterProgram("main", string(src)); err != nil {

@@ -15,11 +15,16 @@
 //
 // Commands: \load, \show, \cubes, \programs, \run, \trace, \metrics,
 // \tgds, \sql, \r, \matlab, \etl, \help, \quit.
+//
+// With -store, the session's cubes live in a crash-safe durable store
+// (write-ahead log + segment snapshots) in the given directory and
+// survive across sessions.
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -31,10 +36,26 @@ import (
 	"exlengine/internal/model"
 	"exlengine/internal/obs"
 	"exlengine/internal/ops"
+	"exlengine/internal/store/durable"
 )
 
 func main() {
-	sh := newShell(os.Stdin, os.Stdout)
+	storeDir := flag.String("store", "", "durable store directory (WAL + snapshots); empty = in-memory only")
+	flag.Parse()
+	var opts []engine.Option
+	if *storeDir != "" {
+		st, err := durable.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exlsh:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		rec := st.Recovery()
+		fmt.Printf("store: recovered generation %d from %s in %v\n",
+			rec.Generation, *storeDir, rec.Elapsed.Round(time.Millisecond))
+		opts = append(opts, engine.WithStore(st))
+	}
+	sh := newShell(os.Stdin, os.Stdout, opts...)
 	sh.run()
 }
 
@@ -50,14 +71,15 @@ type shell struct {
 	metrics *obs.Registry
 }
 
-func newShell(in io.Reader, out io.Writer) *shell {
+func newShell(in io.Reader, out io.Writer, extra ...engine.Option) *shell {
 	tracer := obs.NewTracer()
 	metrics := obs.NewRegistry()
+	opts := append([]engine.Option{engine.WithParallelDispatch(),
+		engine.WithTracer(tracer), engine.WithMetrics(metrics)}, extra...)
 	return &shell{
-		in:  bufio.NewScanner(in),
-		out: out,
-		eng: engine.New(engine.WithParallelDispatch(),
-			engine.WithTracer(tracer), engine.WithMetrics(metrics)),
+		in:      bufio.NewScanner(in),
+		out:     out,
+		eng:     engine.New(opts...),
 		tracer:  tracer,
 		metrics: metrics,
 	}

@@ -1,0 +1,31 @@
+package difftest
+
+import "testing"
+
+// TestFixedCasesAgree replays testdata/fixed/: divergences the fuzzer
+// once found and that were then fixed. Unlike testdata/known/ (tracked,
+// still-diverging, skipped), a fixed case must NEVER diverge again — any
+// divergence here is a semantic regression and fails plain `go test`.
+// To promote a known case after fixing it, move its file from known/ to
+// fixed/ and reword the comment from tracking to fixed.
+func TestFixedCasesAgree(t *testing.T) {
+	fixed, err := LoadKnownCases("testdata/fixed")
+	if err != nil {
+		t.Fatalf("loading fixed cases: %v", err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("fixed corpus is empty; testdata/fixed/*.case missing")
+	}
+	for _, kc := range fixed {
+		kc := kc
+		t.Run(kc.Name, func(t *testing.T) {
+			res, err := Run(kc.Case, DefaultTol)
+			if err != nil {
+				t.Fatalf("fixed case no longer runs: %v\nprogram:\n%s", err, kc.Case.Source())
+			}
+			for _, d := range res.Divergences {
+				t.Errorf("regression — fixed divergence reproduces again: %s (%s)", d, kc.Note)
+			}
+		})
+	}
+}

@@ -30,10 +30,40 @@ import (
 	"exlengine/internal/store"
 )
 
+// CubeStore is the storage contract the engine runs against: a
+// versioned cube repository with zero-copy snapshot reads and atomic
+// multi-cube writes. The in-memory store.Store is the default; the
+// durable store (internal/store/durable) implements the same contract
+// with a write-ahead log and segment snapshots, so persistence is
+// swappable behind this one interface.
+type CubeStore interface {
+	// Declare registers a cube schema; re-declaring identical
+	// dimensions is a no-op.
+	Declare(sch model.Schema) error
+	// Schema returns the declared schema of a cube.
+	Schema(name string) (model.Schema, bool)
+	// Names returns the declared cube names, sorted.
+	Names() []string
+	// Put stores a new version of the cube, valid from asOf.
+	Put(c *model.Cube, asOf time.Time) error
+	// PutAll stores a version of every cube atomically: all visible or
+	// none, the guarantee Run's persist step relies on.
+	PutAll(cubes map[string]*model.Cube, asOf time.Time) error
+	// Get returns the current version of the cube, frozen and shared.
+	Get(name string) (*model.Cube, bool)
+	// GetAsOf returns the version valid at instant t.
+	GetAsOf(name string, t time.Time) (*model.Cube, bool)
+	// SnapshotVersioned returns the current version of every cube plus
+	// the write generation the snapshot was taken at, atomically.
+	SnapshotVersioned() (map[string]*model.Cube, uint64)
+	// Generation returns the store's write generation.
+	Generation() uint64
+}
+
 // Engine is a complete EXLEngine instance.
 type Engine struct {
 	mu       sync.Mutex
-	store    *store.Store
+	store    CubeStore
 	programs map[string]*exl.Analyzed
 	mappings map[string]*mapping.Mapping
 	graph    *determine.Graph
@@ -44,6 +74,18 @@ type Engine struct {
 
 // Option configures an Engine.
 type Option func(*Engine)
+
+// WithStore substitutes the engine's cube store — e.g. a crash-safe
+// durable store opened with durable.Open. The default is a fresh
+// in-memory store.Store. The engine takes ownership of writes: every
+// run's results are persisted through the store's atomic PutAll.
+func WithStore(s CubeStore) Option {
+	return func(e *Engine) {
+		if s != nil {
+			e.store = s
+		}
+	}
+}
 
 // WithParallelDispatch enables concurrent execution of independent
 // subgraphs.
@@ -151,9 +193,31 @@ func (e *Engine) registerLocked(ctx context.Context, name, src string) error {
 		sch, _ := e.store.Schema(n)
 		external[n] = sch
 	}
+	graphOwned := make(map[string]bool)
 	if e.graph != nil {
 		for n, sch := range e.graph.Schemas() {
 			external[n] = sch
+			graphOwned[n] = true
+		}
+	}
+	// A durable store can already hold this program's own cubes from a
+	// prior process run. Names the program defines itself — declarations
+	// and statement left-hand sides — are removed from the external set
+	// so re-registration against a persisted catalog is idempotent.
+	// Cubes owned by another registered program stay external and still
+	// conflict; schema agreement with the persisted catalog is enforced
+	// by the Declare pass below. A parse error here is ignored: compile
+	// reports it properly.
+	if prog, perr := exl.Parse(src); perr == nil {
+		for _, d := range prog.Decls {
+			if !graphOwned[d.Name] {
+				delete(external, d.Name)
+			}
+		}
+		for _, s := range prog.Stmts {
+			if !graphOwned[s.Lhs] {
+				delete(external, s.Lhs)
+			}
 		}
 	}
 	// Parse/analyze/generate through the compiled-program cache: an

@@ -1,0 +1,280 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"exlengine/internal/store/durable"
+)
+
+// Filesystem fault injection for the durable store: FaultFS wraps any
+// durable.FS and fires scripted disk faults — short writes, fsync
+// failures, and crash-at-offset truncation — deterministically, so
+// crash-recovery tests can sweep every byte offset of a WAL and assert
+// that the reopened store is always a prefix of the committed
+// generations.
+
+// Injected fault sentinels. The durable store wraps them in typed
+// exlerr errors (class Fatal); errors.Is reaches them through the wrap.
+var (
+	// ErrInjectedWrite is returned by a scripted short write.
+	ErrInjectedWrite = errors.New("faults: injected short write")
+	// ErrInjectedSync is returned by a scripted fsync failure.
+	ErrInjectedSync = errors.New("faults: injected fsync error")
+	// ErrCrashed is returned by every filesystem operation after the
+	// crash point: the simulated machine is off.
+	ErrCrashed = errors.New("faults: filesystem crashed (simulated power loss)")
+)
+
+// FaultFS wraps a durable.FS with scripted disk faults. The zero
+// configuration injects nothing and is transparent.
+type FaultFS struct {
+	inner durable.FS
+
+	mu sync.Mutex
+	// writesSeen counts Write calls across all files; shortWriteAt
+	// makes the Nth (1-based) write short.
+	writesSeen   int64
+	shortWriteAt int64
+	shortKeep    int // bytes the short write still persists
+	// syncsSeen counts Sync calls; failSyncAt fails the Nth (1-based).
+	syncsSeen  int64
+	failSyncAt int64
+	// budget is the crash point: total bytes that reach "disk" across
+	// all writes before the machine dies (-1: no crash). Bytes beyond
+	// the budget are discarded — the torn tail a real power loss leaves.
+	budget  int64
+	crashed bool
+	// bytesSeen totals the bytes admitted to disk; crash sweeps use it
+	// to size their budget range.
+	bytesSeen int64
+}
+
+// NewFaultFS wraps inner with no faults scripted.
+func NewFaultFS(inner durable.FS) *FaultFS {
+	return &FaultFS{inner: inner, budget: -1, shortWriteAt: -1, failSyncAt: -1}
+}
+
+// ShortWriteAt scripts the nth (1-based) Write call to persist only
+// keep bytes and return ErrInjectedWrite.
+func (f *FaultFS) ShortWriteAt(n int64, keep int) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortWriteAt, f.shortKeep = n, keep
+	return f
+}
+
+// FailSyncAt scripts the nth (1-based) Sync call to fail with
+// ErrInjectedSync.
+func (f *FaultFS) FailSyncAt(n int64) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = n
+	return f
+}
+
+// CrashAtByte kills the filesystem after budget bytes have been
+// written across all files: the tail of the write that crosses the
+// budget is discarded and every later operation fails with ErrCrashed,
+// simulating power loss at an arbitrary byte offset.
+func (f *FaultFS) CrashAtByte(budget int64) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = budget
+	return f
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// BytesWritten reports the total bytes admitted to disk so far. A crash
+// sweep runs the workload once fault-free to learn the byte range, then
+// replays it with CrashAtByte at every offset in that range.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytesSeen
+}
+
+// Writes reports the Write calls seen so far, so a test can script the
+// next write relative to the current count.
+func (f *FaultFS) Writes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writesSeen
+}
+
+// Syncs reports the Sync calls seen so far.
+func (f *FaultFS) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncsSeen
+}
+
+// checkAlive fails every operation after the crash point.
+func (f *FaultFS) checkAlive() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// admitWrite decides the fate of a write of n bytes: how many bytes
+// reach disk and which error (if any) the write reports.
+func (f *FaultFS) admitWrite(n int) (keep int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	f.writesSeen++
+	if f.writesSeen == f.shortWriteAt {
+		keep = f.shortKeep
+		if keep > n {
+			keep = n
+		}
+		f.bytesSeen += int64(keep)
+		return keep, fmt.Errorf("%w (%d of %d bytes)", ErrInjectedWrite, keep, n)
+	}
+	if f.budget >= 0 && f.budget < int64(n) {
+		keep = int(f.budget)
+		f.budget = 0
+		f.crashed = true
+		f.bytesSeen += int64(keep)
+		return keep, ErrCrashed
+	}
+	if f.budget >= 0 {
+		f.budget -= int64(n)
+	}
+	f.bytesSeen += int64(n)
+	return n, nil
+}
+
+// admitSync decides whether a Sync call succeeds.
+func (f *FaultFS) admitSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncsSeen++
+	if f.syncsSeen == f.failSyncAt {
+		return ErrInjectedSync
+	}
+	return nil
+}
+
+// Create implements durable.FS.
+func (f *FaultFS) Create(name string) (durable.File, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Open implements durable.FS. Reads are not perturbed: recovery reads
+// whatever the faults let reach disk.
+func (f *FaultFS) Open(name string) (durable.File, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	return f.inner.Open(name)
+}
+
+// ReadDir implements durable.FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Rename implements durable.FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements durable.FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Truncate implements durable.FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// MkdirAll implements durable.FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// SyncDir implements durable.FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.admitSync(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile applies the filesystem's write/sync faults to one file.
+type faultFile struct {
+	fs    *FaultFS
+	inner durable.File
+}
+
+// Read implements durable.File.
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+// Write implements durable.File: the injector decides how many bytes
+// reach the underlying file and what error the caller sees.
+func (f *faultFile) Write(p []byte) (int, error) {
+	keep, ferr := f.fs.admitWrite(len(p))
+	n := 0
+	if keep > 0 {
+		var werr error
+		n, werr = f.inner.Write(p[:keep])
+		if werr != nil {
+			return n, werr
+		}
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return n, nil
+}
+
+// Sync implements durable.File.
+func (f *faultFile) Sync() error {
+	if err := f.fs.admitSync(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close implements durable.File. Closing is allowed even after a
+// crash so tests can release file handles.
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"exlengine/internal/exlerr"
+	"exlengine/internal/model"
+	"exlengine/internal/store/durable"
+)
+
+func faultSchema() model.Schema {
+	return model.NewSchema("A", []model.Dim{{Name: "t", Type: model.TYear}}, "v")
+}
+
+func faultCube(t *testing.T, v float64) *model.Cube {
+	t.Helper()
+	c := model.NewCube(faultSchema())
+	if err := c.Put([]model.Value{model.Per(model.NewAnnual(2019))}, v); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// expectFatal asserts err is a typed exlerr error of class Fatal that
+// wraps cause — the contract every injected disk fault must satisfy:
+// typed errors, never panics or silent loss.
+func expectFatal(t *testing.T, err, cause error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("injected fault produced no error")
+	}
+	var te *exlerr.Error
+	if !errors.As(err, &te) {
+		t.Fatalf("fault error %v is not a typed *exlerr.Error", err)
+	}
+	if te.Class != exlerr.Fatal {
+		t.Fatalf("fault error class = %v, want Fatal", te.Class)
+	}
+	if cause != nil && !errors.Is(err, cause) {
+		t.Fatalf("fault error %v does not wrap %v", err, cause)
+	}
+}
+
+// TestShortWriteSurfacesTypedError scripts a short write under a commit
+// and checks the store reports a typed Fatal error, fails subsequent
+// writes fast, keeps serving reads, and recovers cleanly on reopen.
+func TestShortWriteSurfacesTypedError(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(durable.OSFS{})
+	st, err := durable.Open(dir, durable.WithFS(fs), durable.WithCompactAfter(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(faultCube(t, 1), time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.ShortWriteAt(fs.Writes()+1, 2) // next write persists 2 bytes and fails
+	err = st.Put(faultCube(t, 2), time.Unix(2, 0))
+	expectFatal(t, err, ErrInjectedWrite)
+
+	// The store is poisoned for writes...
+	err = st.Put(faultCube(t, 3), time.Unix(3, 0))
+	expectFatal(t, err, nil)
+	if !errors.Is(err, durable.ErrFailed) {
+		t.Fatalf("post-fault write error %v does not wrap ErrFailed", err)
+	}
+	// ...but reads keep serving the in-memory state.
+	c, ok := st.Get("A")
+	if !ok {
+		t.Fatal("reads must survive a poisoned store")
+	}
+	if v, _ := c.Get([]model.Value{model.Per(model.NewAnnual(2019))}); v != 1 {
+		t.Fatalf("read value = %v, want 1", v)
+	}
+	st.Close()
+
+	// Reopen without faults: the acknowledged commit survives, the torn
+	// append does not.
+	st2, err := durable.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after short write: %v", err)
+	}
+	defer st2.Close()
+	if g := st2.Generation(); g != 1 {
+		t.Fatalf("recovered generation = %d, want 1", g)
+	}
+	if st2.Recovery().TruncatedRecords != 1 {
+		t.Fatalf("recovery = %+v, want one truncated record", st2.Recovery())
+	}
+	if err := st2.Put(faultCube(t, 4), time.Unix(4, 0)); err != nil {
+		t.Fatalf("store not writable after recovery: %v", err)
+	}
+}
+
+// TestFsyncFaultSurfacesTypedError scripts an fsync failure and checks
+// the same taxonomy: typed Fatal error, sticky poisoning, clean reopen.
+func TestFsyncFaultSurfacesTypedError(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(durable.OSFS{})
+	st, err := durable.Open(dir, durable.WithFS(fs), durable.WithCompactAfter(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(faultCube(t, 1), time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailSyncAt(fs.Syncs() + 1)
+	err = st.Put(faultCube(t, 2), time.Unix(2, 0))
+	expectFatal(t, err, ErrInjectedSync)
+
+	err = st.Put(faultCube(t, 3), time.Unix(3, 0))
+	expectFatal(t, err, nil)
+	if !errors.Is(err, durable.ErrFailed) {
+		t.Fatalf("post-fault write error %v does not wrap ErrFailed", err)
+	}
+	st.Close()
+
+	// The unacknowledged record reached the file before the failed
+	// fsync, so recovery may keep it — but never less than the
+	// acknowledged prefix, and never a torn state.
+	st2, err := durable.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after fsync fault: %v", err)
+	}
+	defer st2.Close()
+	g := st2.Generation()
+	if g < 1 || g > 2 {
+		t.Fatalf("recovered generation = %d, want 1 or 2", g)
+	}
+	c, _ := st2.Get("A")
+	if v, _ := c.Get([]model.Value{model.Per(model.NewAnnual(2019))}); v != float64(g) {
+		t.Fatalf("recovered value %v at generation %d", v, g)
+	}
+}
+
+// TestCrashedFSFailsEverything checks post-crash operations all fail
+// with ErrCrashed and a crashed Open reports a typed error.
+func TestCrashedFSFailsEverything(t *testing.T) {
+	fs := NewFaultFS(durable.OSFS{}).CrashAtByte(0)
+	dir := t.TempDir()
+	_, err := durable.Open(dir, durable.WithFS(fs))
+	if err == nil {
+		t.Fatal("Open over a crashed filesystem must fail")
+	}
+	expectFatal(t, err, ErrCrashed)
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after the budget was consumed")
+	}
+	if _, err := fs.Create(dir + "/x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Create after crash = %v", err)
+	}
+	if _, err := fs.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ReadDir after crash = %v", err)
+	}
+	if err := fs.Rename(dir+"/a", dir+"/b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Rename after crash = %v", err)
+	}
+}
+
+// TestFaultFSTransparent checks the zero configuration injects nothing.
+func TestFaultFSTransparent(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(durable.OSFS{})
+	st, err := durable.Open(dir, durable.WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		if err := st.Put(faultCube(t, float64(k)), time.Unix(int64(k), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Crashed() {
+		t.Fatal("transparent FaultFS crashed")
+	}
+	if fs.BytesWritten() == 0 || fs.Writes() == 0 || fs.Syncs() == 0 {
+		t.Fatal("accounting did not run")
+	}
+}

@@ -171,4 +171,21 @@ const (
 	// MetricCompileCacheMisses counts compilations that ran the full
 	// pipeline and populated the cache.
 	MetricCompileCacheMisses = "compile_cache_misses_total"
+	// MetricStoreWALBytes counts bytes appended to the durable store's
+	// write-ahead log (record framing included).
+	MetricStoreWALBytes = "store_wal_bytes_total"
+	// MetricStoreWALRecords counts commit records appended to the WAL.
+	MetricStoreWALRecords = "store_wal_records_total"
+	// MetricStoreFsyncs counts fsync calls issued by the durable store's
+	// WAL; with group commit, one fsync may cover several commits.
+	MetricStoreFsyncs = "store_fsyncs_total"
+	// MetricStoreSegments counts segment snapshots written (recovery
+	// snapshots and compactions).
+	MetricStoreSegments = "store_segments_total"
+	// MetricStoreRecoveryMS is the wall time the last Open spent
+	// recovering the store, in milliseconds.
+	MetricStoreRecoveryMS = "store_recovery_ms"
+	// MetricStoreTruncatedRecords counts torn or corrupt WAL tails cut
+	// off during recovery.
+	MetricStoreTruncatedRecords = "store_wal_truncated_records_total"
 )

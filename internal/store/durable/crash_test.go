@@ -1,0 +1,242 @@
+// Crash-recovery verification for the durable store, from two angles:
+//
+//   - TestCrashAtEveryOffset simulates power loss at every byte offset of
+//     the workload's write stream (via faults.FaultFS) and checks the
+//     reopened store is always a consistent prefix of the acknowledged
+//     commits — hundreds of deterministic kill-mid-commit iterations.
+//   - TestCrashRecoveryKillLoop SIGKILLs a real writer subprocess
+//     mid-commit in a loop over one shared directory and checks the same
+//     prefix property against the commits the child acknowledged on
+//     stdout. EXL_CRASH_ITERS scales the loop (CI runs 100).
+package durable_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"exlengine/internal/faults"
+	"exlengine/internal/model"
+	"exlengine/internal/store/durable"
+)
+
+func crashSchema() model.Schema {
+	return model.NewSchema("A", []model.Dim{{Name: "t", Type: model.TYear}}, "v")
+}
+
+func crashCube(t testing.TB, v float64) *model.Cube {
+	t.Helper()
+	c := model.NewCube(crashSchema())
+	if err := c.Put([]model.Value{model.Per(model.NewAnnual(2019))}, v); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// crashWorkload opens a store in dir over fs, declares A and puts puts
+// versions with value k at time k. It returns the highest acknowledged
+// generation; a disk fault stops it early.
+func crashWorkload(t testing.TB, dir string, fs durable.FS, puts int) (acked uint64) {
+	t.Helper()
+	st, err := durable.Open(dir, durable.WithFS(fs), durable.WithCompactAfter(-1))
+	if err != nil {
+		return 0
+	}
+	if err := st.Declare(crashSchema()); err != nil {
+		st.Close()
+		return 0
+	}
+	for k := 1; k <= puts; k++ {
+		if err := st.Put(crashCube(t, float64(k)), time.Unix(int64(k), 0)); err != nil {
+			break
+		}
+		acked = uint64(k)
+	}
+	st.Close()
+	return acked
+}
+
+// verifyPrefix reopens dir fault-free and checks the recovered state is a
+// consistent prefix: generation g with acked <= g <= puts, current value
+// g, and every as-of read matching the version history.
+func verifyPrefix(t testing.TB, dir string, acked uint64, puts int, label string) {
+	t.Helper()
+	st, err := durable.Open(dir)
+	if err != nil {
+		t.Fatalf("%s: reopen after crash: %v", label, err)
+	}
+	defer st.Close()
+	rec := st.Recovery()
+	g := rec.Generation
+	if g < acked {
+		t.Fatalf("%s: recovered generation %d < acknowledged %d: durable commit lost", label, g, acked)
+	}
+	if g > uint64(puts) {
+		t.Fatalf("%s: recovered generation %d > %d commits ever attempted", label, g, puts)
+	}
+	if g == 0 {
+		return
+	}
+	c, ok := st.Get("A")
+	if !ok {
+		t.Fatalf("%s: generation %d but cube missing", label, g)
+	}
+	v, ok := c.Get([]model.Value{model.Per(model.NewAnnual(2019))})
+	if !ok || v != float64(g) {
+		t.Fatalf("%s: recovered value %v at generation %d: state is not a prefix", label, v, g)
+	}
+	for j := uint64(1); j <= g; j++ {
+		old, ok := st.GetAsOf("A", time.Unix(int64(j), 0))
+		if !ok {
+			t.Fatalf("%s: as-of read at %d missing after recovery", label, j)
+		}
+		v, _ := old.Get([]model.Value{model.Per(model.NewAnnual(2019))})
+		if v != float64(j) {
+			t.Fatalf("%s: as-of %d = %v, want %v: version history torn", label, j, v, float64(j))
+		}
+	}
+}
+
+// TestCrashAtEveryOffset sweeps a simulated power loss across the whole
+// byte range of the workload's write stream.
+func TestCrashAtEveryOffset(t *testing.T) {
+	const puts = 6
+	// Fault-free run to learn the byte range of the write stream.
+	probe := faults.NewFaultFS(durable.OSFS{})
+	if acked := crashWorkload(t, t.TempDir(), probe, puts); acked != puts {
+		t.Fatalf("fault-free workload acknowledged %d of %d puts", acked, puts)
+	}
+	total := probe.BytesWritten()
+	if total == 0 {
+		t.Fatal("probe run wrote nothing")
+	}
+	step := int64(1)
+	if testing.Short() {
+		step = total/100 + 1
+	}
+	iters := 0
+	for budget := int64(0); budget <= total; budget += step {
+		dir := t.TempDir()
+		fs := faults.NewFaultFS(durable.OSFS{}).CrashAtByte(budget)
+		acked := crashWorkload(t, dir, fs, puts)
+		verifyPrefix(t, dir, acked, puts, fmt.Sprintf("crash at byte %d", budget))
+		iters++
+	}
+	if iters < 100 {
+		t.Fatalf("only %d crash iterations; the sweep must cover at least 100", iters)
+	}
+	t.Logf("%d crash offsets swept over a %d-byte write stream", iters, total)
+}
+
+// TestCrashRecoveryKillLoop SIGKILLs a writer subprocess mid-commit in a
+// loop over one shared store directory. The child prints "acked N" after
+// each durable commit; after each kill the parent verifies the reopened
+// store holds a prefix no shorter than the acknowledged generations.
+func TestCrashRecoveryKillLoop(t *testing.T) {
+	if os.Getenv("EXL_CRASH_HELPER") == "1" {
+		t.Skip("helper mode")
+	}
+	iters := 8
+	if s := os.Getenv("EXL_CRASH_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("EXL_CRASH_ITERS=%q: %v", s, err)
+		}
+		iters = n
+	}
+	dir := t.TempDir()
+	for i := 0; i < iters; i++ {
+		cmd := exec.Command(os.Args[0], "-test.run=TestCrashWriterHelper$")
+		cmd.Env = append(os.Environ(), "EXL_CRASH_HELPER=1", "EXL_CRASH_DIR="+dir)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Kill after a varying number of acknowledged commits; every
+		// fourth iteration kills blind, to land inside Open's recovery
+		// and the first commit as often as inside steady-state commits.
+		want := 1 + i%3
+		if i%4 == 3 {
+			want = 0
+			time.Sleep(time.Duration(i%7) * 100 * time.Microsecond)
+		}
+		var acked uint64
+		sc := bufio.NewScanner(out)
+		for want > 0 && sc.Scan() {
+			line := sc.Text()
+			if n, ok := strings.CutPrefix(line, "acked "); ok {
+				g, err := strconv.ParseUint(n, 10, 64)
+				if err != nil {
+					t.Fatalf("child said %q: %v", line, err)
+				}
+				acked = g
+				want--
+			}
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		cmd.Wait()
+		verifyKilled(t, dir, acked, i)
+	}
+}
+
+// verifyKilled checks the store holds every acknowledged commit and a
+// consistent version history after a SIGKILL.
+func verifyKilled(t *testing.T, dir string, acked uint64, iter int) {
+	t.Helper()
+	st, err := durable.Open(dir)
+	if err != nil {
+		t.Fatalf("iteration %d: reopen after SIGKILL: %v", iter, err)
+	}
+	defer st.Close()
+	g := st.Generation()
+	if g < acked {
+		t.Fatalf("iteration %d: recovered generation %d < acknowledged %d: durable commit lost", iter, g, acked)
+	}
+	if g == 0 {
+		return
+	}
+	c, ok := st.Get("A")
+	if !ok {
+		t.Fatalf("iteration %d: generation %d but cube missing", iter, g)
+	}
+	v, ok := c.Get([]model.Value{model.Per(model.NewAnnual(2019))})
+	if !ok || v != float64(g) {
+		t.Fatalf("iteration %d: recovered value %v at generation %d: not a prefix", iter, v, g)
+	}
+}
+
+// TestCrashWriterHelper is the subprocess body of the kill loop: it
+// opens the store, then commits versions as fast as it can, printing
+// "acked N" after each one, until it is killed.
+func TestCrashWriterHelper(t *testing.T) {
+	if os.Getenv("EXL_CRASH_HELPER") != "1" {
+		t.Skip("run by TestCrashRecoveryKillLoop")
+	}
+	dir := os.Getenv("EXL_CRASH_DIR")
+	st, err := durable.Open(dir)
+	if err != nil {
+		t.Fatalf("helper open: %v", err)
+	}
+	defer st.Close()
+	if err := st.Declare(crashSchema()); err != nil {
+		t.Fatalf("helper declare: %v", err)
+	}
+	g := st.Generation()
+	for k := g + 1; k <= g+10000; k++ {
+		if err := st.Put(crashCube(t, float64(k)), time.Unix(int64(k), 0)); err != nil {
+			t.Fatalf("helper put %d: %v", k, err)
+		}
+		fmt.Printf("acked %d\n", k)
+	}
+}

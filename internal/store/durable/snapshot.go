@@ -1,0 +1,188 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"exlengine/internal/model"
+	"exlengine/internal/store"
+)
+
+// Segment snapshot layout:
+//
+//	8-byte magic "EXLSEG01"
+//	8-byte little-endian generation
+//	payload (full store state: schemas + every cube's version history)
+//	4-byte little-endian CRC32C over generation + payload
+//
+// A snapshot is written to a temporary name, fsync'd, renamed into place
+// and the directory fsync'd, so a crash mid-snapshot leaves either the
+// old state or the new one, never a half-written segment. The trailing
+// CRC lets recovery reject a segment corrupted after the fact and fall
+// back to the previous one.
+var segMagic = [8]byte{'E', 'X', 'L', 'S', 'E', 'G', '0', '1'}
+
+// snapshotState is the in-memory form of a loaded segment.
+type snapshotState struct {
+	gen     uint64
+	schemas map[string]model.Schema
+	history map[string][]store.Version
+}
+
+// encodeSnapshot serializes the full state of the wrapped store. Cube
+// versions are the store's frozen shared instances, so building the
+// payload reads them without copies.
+func encodeSnapshot(mem *store.Store, gen uint64) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, gen)
+
+	schemas := mem.Schemas()
+	names := make([]string, 0, len(schemas))
+	for n := range schemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = appendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = appendSchema(b, schemas[n])
+	}
+
+	type hist struct {
+		name     string
+		versions []store.Version
+	}
+	var hists []hist
+	for _, n := range names {
+		if vs := mem.History(n); len(vs) > 0 {
+			hists = append(hists, hist{name: n, versions: vs})
+		}
+	}
+	b = appendUvarint(b, uint64(len(hists)))
+	for _, h := range hists {
+		b = appendString(b, h.name)
+		b = appendUvarint(b, uint64(len(h.versions)))
+		for _, v := range h.versions {
+			b = appendVarint(b, v.AsOf.UnixNano())
+			b = appendCube(b, v.Cube)
+		}
+	}
+	return b
+}
+
+func decodeSnapshot(raw []byte) (*snapshotState, error) {
+	d := &decoder{b: raw}
+	st := &snapshotState{
+		gen:     binary.LittleEndian.Uint64(raw[:8]),
+		schemas: make(map[string]model.Schema),
+		history: make(map[string][]store.Version),
+	}
+	d.off = 8
+	nsch := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nsch > uint64(len(raw)) {
+		return nil, fmt.Errorf("durable: segment claims %d schemas", nsch)
+	}
+	for i := uint64(0); i < nsch; i++ {
+		sch := d.schema()
+		if d.err != nil {
+			return nil, d.err
+		}
+		st.schemas[sch.Name] = sch
+	}
+	ncubes := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ncubes > nsch {
+		return nil, fmt.Errorf("durable: segment has %d cube histories for %d schemas", ncubes, nsch)
+	}
+	for i := uint64(0); i < ncubes; i++ {
+		name := d.string()
+		nv := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nv > uint64(len(raw)) {
+			return nil, fmt.Errorf("durable: cube %s claims %d versions", name, nv)
+		}
+		vs := make([]store.Version, 0, nv)
+		for j := uint64(0); j < nv; j++ {
+			asOf := time.Unix(0, d.varint())
+			c := d.cube()
+			if d.err != nil {
+				return nil, d.err
+			}
+			vs = append(vs, store.Version{AsOf: asOf, Cube: c.Freeze()})
+		}
+		st.history[name] = vs
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(raw) {
+		return nil, fmt.Errorf("durable: %d trailing bytes after segment payload", len(raw)-d.off)
+	}
+	return st, nil
+}
+
+// writeSnapshot persists a segment atomically and returns its file name.
+func writeSnapshot(fs FS, dir string, mem *store.Store, gen uint64) (string, error) {
+	body := encodeSnapshot(mem, gen)
+	buf := make([]byte, 0, len(segMagic)+len(body)+4)
+	buf = append(buf, segMagic[:]...)
+	buf = append(buf, body...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, crcTable))
+
+	name := segmentName(gen)
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	if err := writeFull(f, buf); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return "", err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// loadSnapshot reads and verifies a segment file.
+func loadSnapshot(fs FS, path string) (*snapshotState, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(segMagic)+8+4 || [8]byte(raw[:8]) != segMagic {
+		return nil, fmt.Errorf("durable: %s is not a segment snapshot", path)
+	}
+	body, sum := raw[8:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, fmt.Errorf("durable: %s fails checksum verification", path)
+	}
+	return decodeSnapshot(body)
+}

@@ -117,6 +117,54 @@ func appendVersion(vs []version, v version) []version {
 	return append(vs, v)
 }
 
+// checkPut validates one cube write (schema compatibility and version
+// ordering) without applying it. The caller holds at least a read lock.
+func (s *Store) checkPut(c *model.Cube, asOf time.Time) error {
+	if c == nil {
+		return fmt.Errorf("store: nil cube")
+	}
+	name := c.Schema().Name
+	if old, ok := s.schemas[name]; ok && !old.SameDims(c.Schema()) {
+		return fmt.Errorf("store: cube %s dimensionality changed", name)
+	}
+	if vs := s.cubes[name]; len(vs) > 0 && vs[len(vs)-1].asOf.After(asOf) {
+		return fmt.Errorf("store: version for %s at %v is older than the latest (%v)", name, asOf, vs[len(vs)-1].asOf)
+	}
+	return nil
+}
+
+// CheckPut reports whether Put would accept the write, without applying
+// it. Durable wrappers use it to validate a commit before appending it to
+// a write-ahead log: a record must never reach the log if replaying it
+// would fail.
+func (s *Store) CheckPut(c *model.Cube, asOf time.Time) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkPut(c, asOf)
+}
+
+// CheckPutAll reports whether PutAll would accept the batch, without
+// applying it.
+func (s *Store) CheckPutAll(cubes map[string]*model.Cube, asOf time.Time) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, name := range sortedNames(cubes) {
+		if err := s.checkPut(cubes[name], asOf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedNames(cubes map[string]*model.Cube) []string {
+	names := make([]string, 0, len(cubes))
+	for n := range cubes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Put stores a new version of the cube, valid from asOf. The cube's
 // schema is declared implicitly on first write. Versions must be written
 // in non-decreasing asOf order per cube; a second write at exactly the
@@ -125,19 +173,14 @@ func appendVersion(vs []version, v version) []version {
 func (s *Store) Put(c *model.Cube, asOf time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkPut(c, asOf); err != nil {
+		return err
+	}
 	name := c.Schema().Name
-	if old, ok := s.schemas[name]; ok {
-		if !old.SameDims(c.Schema()) {
-			return fmt.Errorf("store: cube %s dimensionality changed", name)
-		}
-	} else {
+	if _, ok := s.schemas[name]; !ok {
 		s.schemas[name] = c.Schema()
 	}
-	vs := s.cubes[name]
-	if n := len(vs); n > 0 && vs[n-1].asOf.After(asOf) {
-		return fmt.Errorf("store: version for %s at %v is older than the latest (%v)", name, asOf, vs[n-1].asOf)
-	}
-	s.cubes[name] = appendVersion(vs, version{asOf: asOf, cube: frozenCopy(c)})
+	s.cubes[name] = appendVersion(s.cubes[name], version{asOf: asOf, cube: frozenCopy(c)})
 	s.gen++
 	return nil
 }
@@ -150,22 +193,11 @@ func (s *Store) Put(c *model.Cube, asOf time.Time) error {
 func (s *Store) PutAll(cubes map[string]*model.Cube, asOf time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	names := make([]string, 0, len(cubes))
-	for n := range cubes {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := sortedNames(cubes)
 	// Validate everything first.
 	for _, name := range names {
-		c := cubes[name]
-		if c == nil {
-			return fmt.Errorf("store: nil cube %s", name)
-		}
-		if old, ok := s.schemas[name]; ok && !old.SameDims(c.Schema()) {
-			return fmt.Errorf("store: cube %s dimensionality changed", name)
-		}
-		if vs := s.cubes[name]; len(vs) > 0 && vs[len(vs)-1].asOf.After(asOf) {
-			return fmt.Errorf("store: version for %s at %v is older than the latest (%v)", name, asOf, vs[len(vs)-1].asOf)
+		if err := s.checkPut(cubes[name], asOf); err != nil {
+			return err
 		}
 	}
 	// Commit.
@@ -237,7 +269,10 @@ func (s *Store) Generation() uint64 {
 }
 
 // Versions returns the validity instants of the cube's versions, oldest
-// first.
+// first. The result is a freshly allocated, explicitly sorted copy:
+// callers may retain or mutate it without aliasing the store's internal
+// version history, and the ascending order is part of the contract, not
+// an artifact of the internal representation.
 func (s *Store) Versions(name string) []time.Time {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -245,6 +280,41 @@ func (s *Store) Versions(name string) []time.Time {
 	out := make([]time.Time, len(vs))
 	for i, v := range vs {
 		out[i] = v.asOf
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// Version is one entry of a cube's version history: the validity instant
+// and the frozen cube stored at it.
+type Version struct {
+	AsOf time.Time
+	Cube *model.Cube
+}
+
+// History returns the cube's full version history, oldest first. The
+// slice is a copy; the cubes are the store's frozen shared instances
+// (zero-copy, like Get). Durable backends use it to serialize complete
+// segment snapshots that preserve GetAsOf semantics.
+func (s *Store) History(name string) []Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.cubes[name]
+	out := make([]Version, len(vs))
+	for i, v := range vs {
+		out[i] = Version{AsOf: v.asOf, Cube: v.cube}
+	}
+	return out
+}
+
+// Schemas returns a copy of the declared-schema catalog, including
+// cubes that have no stored version yet.
+func (s *Store) Schemas() map[string]model.Schema {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]model.Schema, len(s.schemas))
+	for n, sch := range s.schemas {
+		out[n] = sch
 	}
 	return out
 }
