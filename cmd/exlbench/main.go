@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	exlbench [-run all|e1|e2|...|e12] [-quick] [-workers N] [-iters N]
-//	         [-store dir]
+//	exlbench [-run all|e1|e2|...|e13] [-quick] [-workers N] [-iters N]
+//	         [-store dir] [-max-concurrent N] [-mem-budget bytes]
 package main
 
 import (
@@ -24,7 +24,10 @@ import (
 	"exlengine/internal/engine"
 	"exlengine/internal/etl"
 	"exlengine/internal/exl"
+	"exlengine/internal/exlerr"
+	"exlengine/internal/faults"
 	"exlengine/internal/frame"
+	"exlengine/internal/governor"
 	"exlengine/internal/mapping"
 	"exlengine/internal/matlabgen"
 	"exlengine/internal/model"
@@ -38,10 +41,12 @@ import (
 )
 
 var (
-	quick    bool
-	workers  int
-	iters    int
-	storeDir string
+	quick     bool
+	workers   int
+	iters     int
+	storeDir  string
+	maxConc   int
+	memBudget int64
 )
 
 func main() {
@@ -50,6 +55,8 @@ func main() {
 	flag.IntVar(&workers, "workers", 8, "e11: max concurrent run loops (sweep is 1..workers, doubling)")
 	flag.IntVar(&iters, "iters", 4, "e11: runs per worker")
 	flag.StringVar(&storeDir, "store", "", "e12: durable store directory (default: a temp dir, removed afterwards)")
+	flag.IntVar(&maxConc, "max-concurrent", 4, "e13: admitted run slots (load is driven at 2x this)")
+	flag.Int64Var(&memBudget, "mem-budget", 256<<20, "e13: process-wide cube-materialization budget in bytes")
 	flag.Parse()
 
 	experiments := []struct {
@@ -69,6 +76,7 @@ func main() {
 		{"e10", "E10: chase scaling", e10},
 		{"e11", "E11: concurrent re-runs over a shared store (zero-copy reads + compile cache)", e11},
 		{"e12", "E12: durable store — WAL commit throughput, group commit, recovery time", e12},
+		{"e13", "E13: overload — admission control, shedding and breakers at 2x capacity", e13},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -608,6 +616,98 @@ func e12() {
 			panic(err)
 		}
 	}
+}
+
+// e13 is the overload benchmark: a worker fleet at twice the admitted
+// capacity, with scripted transient backend faults, against a governed
+// engine. It reports the governor's ledger — completed vs shed runs,
+// memory peak vs budget, breaker activity — and finishes with a graceful
+// shutdown drain, timing how long the engine takes to go quiet.
+func e13() {
+	days := 500
+	if quick {
+		days = 100
+	}
+	data := workload.GDPSource(workload.GDPConfig{Days: days, Regions: 5})
+
+	var fs []faults.Fault
+	for i := 0; i < 2*maxConc; i++ {
+		fs = append(fs,
+			faults.Fault{Fragment: faults.AnyFragment, Attempt: 1, Target: ops.TargetSQL, Kind: faults.Error, Class: exlerr.Transient},
+			faults.Fault{Fragment: faults.AnyFragment, Attempt: 1, Target: ops.TargetETL, Kind: faults.Error, Class: exlerr.Transient},
+		)
+	}
+	inj := faults.NewInjector(fs...)
+
+	mx := obs.NewRegistry()
+	gov := governor.New(governor.Config{
+		MaxConcurrent: maxConc,
+		MaxQueue:      maxConc,
+		MemoryBudget:  memBudget,
+		Breaker:       governor.BreakerConfig{FailureThreshold: 4, Cooldown: 50 * time.Millisecond},
+	})
+	eng := engine.New(engine.WithGovernor(gov), engine.WithParallelDispatch(),
+		engine.WithMetrics(mx), engine.WithDispatchMiddleware(inj.Middleware()),
+		engine.WithSleeper(func(ctx context.Context, _ time.Duration) error { return ctx.Err() }))
+	if err := eng.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"PDR", "RGDPPC"} {
+		if err := eng.PutCube(data[name], time.Unix(0, 0)); err != nil {
+			panic(err)
+		}
+	}
+
+	var ok, shed, failed int64
+	var mu sync.Mutex
+	asOf := time.Unix(1, 0)
+	start := time.Now()
+	_, err := workload.RunConcurrently(context.Background(),
+		workload.ConcurrentConfig{Workers: 2 * maxConc, Iters: iters},
+		func(ctx context.Context) error {
+			_, err := eng.Run(ctx, engine.RunAt(asOf))
+			mu.Lock()
+			switch {
+			case err == nil:
+				ok++
+			case exlerr.IsOverload(err):
+				shed++
+			default:
+				failed++
+			}
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	d := time.Since(start)
+
+	total := ok + shed + failed
+	fmt.Printf("load: %d workers x %d runs against %d slot(s), queue %d, budget %d MiB\n",
+		2*maxConc, iters, maxConc, maxConc, memBudget>>20)
+	fmt.Printf("%-26s %8d\n", "runs completed", ok)
+	fmt.Printf("%-26s %8d\n", "runs shed (typed overload)", shed)
+	fmt.Printf("%-26s %8d\n", "runs failed", failed)
+	fmt.Printf("%-26s %8.1f\n", "completed runs/s", float64(ok)/d.Seconds())
+	fmt.Printf("%-26s %8d of %d\n", "accounted", total, 2*maxConc*iters)
+	fmt.Printf("%-26s %8.2f MiB (budget %d MiB)\n", "memory peak",
+		float64(gov.MemPeak())/(1<<20), memBudget>>20)
+	var trips int64
+	for _, tgt := range ops.AllTargets {
+		trips += mx.Counter(obs.Label(obs.MetricBreakerTrips, "target", string(tgt))).Value()
+	}
+	fmt.Printf("%-26s %8d\n", "breaker trips", trips)
+	fmt.Printf("%-26s %8d\n", "faults fired", len(inj.Fired()))
+
+	drainStart := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Shutdown(ctx); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-26s %8.2f ms (in-flight drained, store closed)\n",
+		"graceful shutdown", float64(time.Since(drainStart).Microseconds())/1000)
 }
 
 func e10() {

@@ -6,6 +6,7 @@
 //	exlrun -program program.exl -data dir [-target auto|chase|sql|etl|frame]
 //	       [-out dir] [-store dir] [-report] [-trace[=json]] [-metrics]
 //	       [-timeout d] [-fragment-timeout d] [-retries n] [-no-fallback]
+//	       [-max-concurrent n] [-mem-budget bytes]
 //
 // The data directory must contain one <CUBE>.csv file per elementary cube,
 // with a header naming the dimensions (in declaration order) followed by
@@ -25,6 +26,15 @@
 // -metrics prints the run's counters and latency histograms. All
 // diagnostics (-v, -report, -trace, -metrics) go to stderr, leaving
 // stdout for data.
+//
+// Runs are overload-safe: -max-concurrent caps how many runs execute at
+// once (excess admission requests queue, then shed with typed overload
+// errors) and -mem-budget bounds the bytes runs may reserve for cube
+// materialization — a run that does not fit degrades to sequential
+// dispatch before being rejected. A single exlrun invocation performs one
+// run, so these flags matter mostly when the process is embedded or
+// scripted against a shared store; they are accepted here so the same
+// governor configuration can be exercised end to end from the CLI.
 //
 // With -store, cubes persist in a crash-safe durable store (write-ahead
 // log + segment snapshots) in the given directory: every version from
@@ -99,6 +109,8 @@ func main() {
 	fragTimeout := flag.Duration("fragment-timeout", 0, "per-fragment attempt timeout (0 = none)")
 	retries := flag.Int("retries", dispatch.DefaultRetry.MaxAttempts, "attempts per target for transient failures")
 	noFallback := flag.Bool("no-fallback", false, "disable degradation to fallback targets")
+	maxConc := flag.Int("max-concurrent", 0, "maximum concurrently executing runs (0 = unlimited)")
+	memBudget := flag.Int64("mem-budget", 0, "process-wide cube-materialization budget in bytes (0 = unlimited)")
 	flag.Parse()
 
 	if *programPath == "" || *dataDir == "" {
@@ -121,6 +133,12 @@ func main() {
 	}
 	if *noFallback {
 		opts = append(opts, engine.WithoutDegradation())
+	}
+	if *maxConc > 0 {
+		opts = append(opts, engine.MaxConcurrentRuns(*maxConc))
+	}
+	if *memBudget > 0 {
+		opts = append(opts, engine.MemoryBudget(*memBudget))
 	}
 	if *fragTimeout > 0 {
 		opts = append(opts, engine.WithFragmentTimeout(*fragTimeout))

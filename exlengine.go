@@ -44,6 +44,7 @@ import (
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
 	"exlengine/internal/exlerr"
+	"exlengine/internal/governor"
 	"exlengine/internal/mapping"
 	"exlengine/internal/model"
 	"exlengine/internal/obs"
@@ -133,7 +134,15 @@ const (
 	Transient    = exlerr.Transient
 	Fatal        = exlerr.Fatal
 	EgdViolation = exlerr.EgdViolation
+	// Overload marks runs rejected by the resource governor (queue full,
+	// deadline unmeetable, memory budget exceeded, or shutting down).
+	Overload = exlerr.Overload
 )
+
+// IsOverload reports whether err is an overload rejection — the typed
+// shed an engine under admission control or a memory budget returns
+// instead of degrading unpredictably.
+func IsOverload(err error) bool { return exlerr.IsOverload(err) }
 
 // Fault-tolerance options.
 var (
@@ -143,6 +152,53 @@ var (
 	WithoutDegradation = engine.WithoutDegradation
 	// WithFragmentTimeout bounds each fragment attempt.
 	WithFragmentTimeout = engine.WithFragmentTimeout
+)
+
+// Resource-governance types. The governor is the engine's overload
+// armor: admission control with a bounded queue, memory budgets charged
+// at cube materialization, per-backend circuit breakers, and graceful
+// shutdown (Engine.Shutdown stops admission, drains in-flight runs and
+// closes the store).
+type (
+	// Governor arbitrates run admission, memory budgets and breakers.
+	Governor = governor.Governor
+	// GovernorConfig configures a Governor.
+	GovernorConfig = governor.Config
+	// BreakerConfig configures the per-backend circuit breakers.
+	BreakerConfig = governor.BreakerConfig
+)
+
+// Resource-governance options.
+var (
+	// MaxConcurrentRuns caps how many runs execute at once; excess
+	// admission requests queue, then shed with typed overload errors.
+	MaxConcurrentRuns = engine.MaxConcurrentRuns
+	// MemoryBudget bounds the bytes concurrent runs may reserve for cube
+	// materialization; a run that does not fit degrades to sequential
+	// dispatch before being rejected.
+	MemoryBudget = engine.MemoryBudget
+	// PerRunMemoryBudget bounds a single run's reservation.
+	PerRunMemoryBudget = engine.PerRunMemoryBudget
+	// WithBreakers enables per-backend circuit breakers.
+	WithBreakers = engine.WithBreakers
+	// WithGovernor installs a fully configured governor (shared across
+	// engines for a process-wide budget, or tuned beyond the shorthand
+	// options above).
+	WithGovernor = engine.WithGovernor
+	// NewGovernor builds a standalone governor from a config.
+	NewGovernor = governor.New
+)
+
+// Typed overload rejections returned by governed runs.
+var (
+	// ErrQueueFull: the admission queue was at capacity.
+	ErrQueueFull = governor.ErrQueueFull
+	// ErrDeadline: the caller's deadline could not be met.
+	ErrDeadline = governor.ErrDeadline
+	// ErrShuttingDown: the engine is draining for shutdown.
+	ErrShuttingDown = governor.ErrShuttingDown
+	// ErrMemoryBudget: the run did not fit the memory budget.
+	ErrMemoryBudget = governor.ErrMemoryBudget
 )
 
 // Data model types.

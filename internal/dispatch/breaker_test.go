@@ -1,0 +1,250 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"exlengine/internal/determine"
+	"exlengine/internal/exlerr"
+	"exlengine/internal/governor"
+	"exlengine/internal/model"
+	"exlengine/internal/obs"
+	"exlengine/internal/ops"
+)
+
+// fakeGate is a scripted BreakerGate recording every Record call.
+type fakeGate struct {
+	mu     sync.Mutex
+	open   map[ops.Target]bool
+	record []error
+	target []ops.Target
+}
+
+func (g *fakeGate) Allow(t ops.Target) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return !g.open[t]
+}
+
+func (g *fakeGate) Record(t ops.Target, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.target = append(g.target, t)
+	g.record = append(g.record, err)
+}
+
+// TestBreakerSkipsOpenTarget: a fragment whose primary target's breaker
+// is open never attempts it — the fallback order supplies the target, the
+// skip lands in the report, and no fallback is charged (nothing was
+// tried before it).
+func TestBreakerSkipsOpenTarget(t *testing.T) {
+	f := simpleFixture(t)
+	ref := reference(t, f)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetSQL))
+
+	gate := &fakeGate{open: map[ops.Target]bool{ops.TargetSQL: true}}
+	d := &Dispatcher{Degrade: true, Breakers: gate}
+	got, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["B"].Equal(ref["B"], 1e-9) {
+		t.Error("re-routed run differs from chase")
+	}
+	fr := rep.Fragments[0]
+	if len(fr.SkippedOpen) != 1 || fr.SkippedOpen[0] != ops.TargetSQL {
+		t.Fatalf("SkippedOpen = %v, want [sql]", fr.SkippedOpen)
+	}
+	if fr.Final == ops.TargetSQL || fr.Final == "" {
+		t.Fatalf("fragment ran on %q, want a non-sql target", fr.Final)
+	}
+	if len(fr.Fallbacks) != 0 {
+		t.Errorf("fallbacks = %v; a skipped target must not charge a fallback", fr.Fallbacks)
+	}
+	if len(gate.record) != 1 || gate.record[0] != nil {
+		t.Errorf("gate saw %v, want one success", gate.record)
+	}
+}
+
+// TestBreakerAllOpen: when every permitted target's breaker is open the
+// fragment fails immediately with a typed overload error and zero
+// attempts.
+func TestBreakerAllOpen(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	gate := &fakeGate{open: map[ops.Target]bool{
+		ops.TargetSQL: true, ops.TargetETL: true, ops.TargetFrame: true, ops.TargetChase: true,
+	}}
+	d := &Dispatcher{Degrade: true, Breakers: gate}
+	_, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err == nil {
+		t.Fatal("run must fail when every breaker is open")
+	}
+	if !exlerr.IsOverload(err) {
+		t.Fatalf("error class = %v (%v), want overload", exlerr.ClassOf(err), err)
+	}
+	fr := rep.Fragments[0]
+	if len(fr.Attempts) != 0 {
+		t.Errorf("attempts = %v, want none", fr.Attempts)
+	}
+	if len(fr.SkippedOpen) == 0 {
+		t.Error("report lost the skipped targets")
+	}
+	if len(gate.record) != 0 {
+		t.Errorf("gate recorded %v for never-attempted targets", gate.record)
+	}
+}
+
+// TestBreakerRecordsOutcomes drives a real governor.BreakerSet through
+// the dispatcher: repeated failures on the primary trip its breaker, the
+// fragment degrades, and the fallback's success is recorded too.
+func TestBreakerRecordsOutcomes(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	set := governor.NewBreakerSet(governor.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour})
+	d := &Dispatcher{
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		Sleep:   (&fakeSleep{}).fn,
+		Degrade: true,
+		Middleware: []Middleware{func(next Runner) Runner {
+			return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+				if fr.Target == ops.TargetETL {
+					return nil, exlerr.Transientf("etl down")
+				}
+				return next(ctx, fr, snap)
+			}
+		}},
+	}
+	d.Breakers = set
+	_, rep, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fragments[0].Degraded() {
+		t.Fatalf("fragment should have degraded: %+v", rep.Fragments[0])
+	}
+	if set.State(ops.TargetETL) != governor.BreakerOpen {
+		t.Errorf("etl breaker state = %v after 2 failures, want open", set.State(ops.TargetETL))
+	}
+	if st := set.State(rep.Fragments[0].Final); st != governor.BreakerClosed {
+		t.Errorf("fallback %s breaker state = %v, want closed", rep.Fragments[0].Final, st)
+	}
+
+	// The next run skips etl without attempting it: the breaker is open.
+	mx := obs.NewRegistry()
+	_, rep2, err := d.RunContext(obs.ContextWithMetrics(context.Background(), mx), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := rep2.Fragments[0]
+	if len(fr.SkippedOpen) != 1 || fr.SkippedOpen[0] != ops.TargetETL {
+		t.Fatalf("second run SkippedOpen = %v, want [etl]", fr.SkippedOpen)
+	}
+	if got := mx.Counter(obs.Label(obs.MetricBreakerSkips, "target", "etl")).Value(); got != 1 {
+		t.Errorf("skip counter = %d, want 1", got)
+	}
+}
+
+// TestBreakerIgnoresRunCancellation: a run cancelled by its caller must
+// not be reported to the gate — the backend did nothing wrong.
+func TestBreakerIgnoresRunCancellation(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	gate := &fakeGate{}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Dispatcher{
+		Degrade:  true,
+		Breakers: gate,
+		Middleware: []Middleware{func(next Runner) Runner {
+			return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+				cancel()
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+		}},
+	}
+	_, _, err := d.RunContext(ctx, subs, f.tgds, f.schemas, f.data)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(gate.record) != 0 {
+		t.Errorf("gate saw %v for a caller-cancelled run", gate.record)
+	}
+}
+
+// TestBreakerSeesFragmentTimeout: a fragment-timeout expiry is a backend
+// slowness signal and must reach the gate as a transient failure, not be
+// swallowed as cancellation.
+func TestBreakerSeesFragmentTimeout(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	gate := &fakeGate{}
+	d := &Dispatcher{
+		Retry:           RetryPolicy{MaxAttempts: 1},
+		Degrade:         true,
+		FragmentTimeout: 10 * time.Millisecond,
+		Breakers:        gate,
+		Middleware: []Middleware{func(next Runner) Runner {
+			return func(ctx context.Context, fr Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+				if fr.Target == ops.TargetETL {
+					<-ctx.Done()
+					return nil, ctx.Err()
+				}
+				return next(ctx, fr, snap)
+			}
+		}},
+	}
+	_, _, err := d.RunContext(context.Background(), subs, f.tgds, f.schemas, f.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTimeout bool
+	for i, rec := range gate.record {
+		if gate.target[i] == ops.TargetETL && rec != nil && exlerr.ClassOf(rec) == exlerr.Transient {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Errorf("gate never saw the etl timeout as a transient failure: %v", gate.record)
+	}
+}
+
+// TestBackoffDeadlineFailFast: when the computed backoff overshoots the
+// run's deadline, the dispatcher fails immediately with the underlying
+// typed error instead of sleeping into the deadline.
+func TestBackoffDeadlineFailFast(t *testing.T) {
+	f := simpleFixture(t)
+	subs := determine.Partition(f.graph.FullPlan(), determine.FixedAssigner(ops.TargetETL))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	d := &Dispatcher{
+		// The first retry would back off for 10 minutes — far past the
+		// 200ms deadline. No fake sleeper: sleeping for real would hang
+		// the test, which is the point.
+		Retry:      RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Minute},
+		Middleware: []Middleware{failN(5, exlerr.Transient)},
+	}
+	start := time.Now()
+	_, rep, err := d.RunContext(ctx, subs, f.tgds, f.schemas, f.data)
+	if err == nil {
+		t.Fatal("run must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("dispatcher slept %v toward the deadline instead of failing fast", elapsed)
+	}
+	if exlerr.ClassOf(err) != exlerr.Transient {
+		t.Errorf("error class = %v, want the underlying transient failure", exlerr.ClassOf(err))
+	}
+	fr := rep.Fragments[0]
+	if len(fr.Attempts) != 1 || fr.Attempts[0].Backoff != 0 {
+		t.Errorf("attempts = %+v, want one attempt with no backoff slept", fr.Attempts)
+	}
+}

@@ -53,6 +53,27 @@ type Dispatcher struct {
 	// Middleware wraps fragment execution, outermost first. Fault
 	// injection (internal/faults) hooks in here.
 	Middleware []Middleware
+	// Breakers, when set, gates every target: a target whose breaker is
+	// open is skipped (recorded in FragmentReport.SkippedOpen) and every
+	// attempt outcome is fed back. governor.BreakerSet implements it.
+	Breakers BreakerGate
+}
+
+// BreakerGate is the dispatcher's view of per-backend circuit breakers.
+// Allow is consulted once per target per fragment before any attempt on
+// it; Record receives every attempt outcome (nil for success). The
+// dispatcher never reports run-level cancellation to the gate — the
+// caller's deadline says nothing about the backend's health.
+type BreakerGate interface {
+	Allow(t ops.Target) bool
+	Record(t ops.Target, err error)
+}
+
+// record feeds an attempt outcome to the breaker gate, if any.
+func (d *Dispatcher) record(t ops.Target, err error) {
+	if d.Breakers != nil {
+		d.Breakers.Record(t, err)
+	}
 }
 
 // Fragment describes one fragment attempt to middleware.
@@ -261,17 +282,28 @@ func (d *Dispatcher) runFragmentAttempts(ctx context.Context, idx int, sub deter
 	}
 
 	var lastErr error
-	for ti, target := range targets {
-		if ti > 0 {
+	tried := false // whether any target was actually attempted
+	for _, target := range targets {
+		if d.Breakers != nil && !d.Breakers.Allow(target) {
+			// The target's circuit breaker is open: skip it without
+			// spending the retry budget, and let the fallback order
+			// provide the next candidate.
+			fr.SkippedOpen = append(fr.SkippedOpen, target)
+			met.Counter(obs.Label(obs.MetricBreakerSkips, "target", string(target))).Add(1)
+			continue
+		}
+		if tried {
 			fr.Fallbacks = append(fr.Fallbacks, target)
 			met.Counter(obs.Label(obs.MetricFallbacks, "target", string(target))).Add(1)
 		}
+		tried = true
 		for attempt := 1; ; attempt++ {
 			actx, aspan := obs.StartSpan(ctx, "attempt",
 				obs.String("target", string(target)), obs.Int("n", attempt))
 			out, err := d.exec(actx, runner, Fragment{Index: idx, Attempt: attempt, Target: target, Cubes: fr.Cubes}, snap)
 			aspan.EndErr(err)
 			if err == nil {
+				d.record(target, nil)
 				fr.Attempts = append(fr.Attempts, Attempt{Target: target, Attempt: attempt})
 				fr.Final = target
 				fr.Elapsed = time.Since(start)
@@ -286,18 +318,34 @@ func (d *Dispatcher) runFragmentAttempts(ctx context.Context, idx int, sub deter
 			}
 			if exlerr.IsCancellation(err) {
 				if ctx.Err() != nil {
-					// The run itself was cancelled: stop, don't degrade.
+					// The run itself was cancelled: stop, don't degrade —
+					// and don't blame the backend.
 					fr.Attempts = append(fr.Attempts, rec)
 					fr.Elapsed = time.Since(start)
 					return nil, fr, err
 				}
 				// Only the per-fragment timeout expired: the target is
 				// slow, which is a transient target failure — retry, then
-				// degrade like any other.
+				// degrade like any other. The breaker must see it under
+				// the reclassified class, or it would ignore the timeout
+				// as caller cancellation.
 				rec.Class = exlerr.Transient
+				d.record(target, exlerr.New(exlerr.Transient, err))
+			} else {
+				d.record(target, err)
 			}
 			if rec.Class == exlerr.Transient && attempt < d.Retry.attempts() {
-				rec.Backoff = d.Retry.Delay(attempt)
+				backoff := d.Retry.Delay(attempt)
+				if dl, ok := ctx.Deadline(); ok && backoff > 0 && time.Now().Add(backoff).After(dl) {
+					// The run's deadline lands inside the backoff: sleeping
+					// would only convert this typed failure into a context
+					// timeout at the deadline. Fail fast instead.
+					fr.Attempts = append(fr.Attempts, rec)
+					fr.Elapsed = time.Since(start)
+					return nil, fr, fmt.Errorf("dispatch: fragment %d %v: %v backoff exceeds the run deadline: %w",
+						idx, fr.Cubes, backoff, lastErr)
+				}
+				rec.Backoff = backoff
 				fr.Attempts = append(fr.Attempts, rec)
 				met.Counter(obs.Label(obs.MetricRetries, "target", string(target))).Add(1)
 				_, bspan := obs.StartSpan(ctx, "backoff", obs.Dur("delay", rec.Backoff))
@@ -322,6 +370,10 @@ func (d *Dispatcher) runFragmentAttempts(ctx context.Context, idx int, sub deter
 		}
 	}
 	fr.Elapsed = time.Since(start)
+	if !tried {
+		return nil, fr, exlerr.Overloadf("dispatch: fragment %d %v: every permitted target's circuit breaker is open",
+			idx, fr.Cubes)
+	}
 	return nil, fr, fmt.Errorf("dispatch: fragment %d %v failed on every permitted target: %w", idx, fr.Cubes, lastErr)
 }
 

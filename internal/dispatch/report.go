@@ -29,7 +29,10 @@ type FragmentReport struct {
 	Final     ops.Target   // the target that succeeded; empty if the fragment failed
 	Attempts  []Attempt    // in execution order, across all targets
 	Fallbacks []ops.Target // fallback targets tried after the primary, in order
-	Elapsed   time.Duration
+	// SkippedOpen lists targets never attempted because their circuit
+	// breaker was open, in the order they would have been tried.
+	SkippedOpen []ops.Target
+	Elapsed     time.Duration
 }
 
 // Retries counts the same-target retry attempts of the fragment.
@@ -83,6 +86,9 @@ func (r *Report) String() string {
 		}
 		fmt.Fprintf(&b, "  fragment %d %v: planned %s, ran on %s, %d attempt(s), %v\n",
 			f.Index, f.Cubes, f.Primary, status, len(f.Attempts), f.Elapsed)
+		if len(f.SkippedOpen) > 0 {
+			fmt.Fprintf(&b, "    skipped (breaker open): %v\n", f.SkippedOpen)
+		}
 		for _, a := range f.Attempts {
 			if a.Err == "" {
 				fmt.Fprintf(&b, "    %s attempt %d: ok\n", a.Target, a.Attempt)

@@ -23,22 +23,85 @@ type Compiled struct {
 	Mapping  *mapping.Mapping
 }
 
-// compileCacheCap bounds the process-wide cache. Statistical catalogs
-// hold tens to hundreds of programs; beyond the cap, an arbitrary entry
-// is evicted (recompiling is always correct, only slower).
+// compileCacheCap bounds the default cache. Statistical catalogs hold
+// tens to hundreds of programs; beyond the cap, an arbitrary entry is
+// evicted (recompiling is always correct, only slower).
 const compileCacheCap = 256
 
-var compileCache = struct {
-	sync.Mutex
-	m map[string]*Compiled
-}{m: make(map[string]*Compiled)}
+// CompileCache is a bounded cache of compilation results keyed by
+// (program text, external-schema fingerprint, fusion). Engines share the
+// process-wide default unless WithCompileCache injects a private one —
+// the isolation knob for multi-tenant deployments, where one tenant's
+// registrations should not be observable through another's hit rates. A
+// nil *CompileCache compiles without caching.
+type CompileCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*Compiled
+}
+
+// NewCompileCache returns an empty cache bounded to capacity entries
+// (<=0 means the default capacity).
+func NewCompileCache(capacity int) *CompileCache {
+	if capacity <= 0 {
+		capacity = compileCacheCap
+	}
+	return &CompileCache{cap: capacity, m: make(map[string]*Compiled)}
+}
+
+// Len returns the number of cached compilations.
+func (c *CompileCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset empties the cache.
+func (c *CompileCache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]*Compiled)
+}
+
+func (c *CompileCache) get(key string) *Compiled {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+func (c *CompileCache) put(key string, v *Compiled) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.cap {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = v
+}
+
+// defaultCompileCache is the process-wide cache engines use unless a
+// private one is injected.
+var defaultCompileCache = NewCompileCache(compileCacheCap)
+
+// DefaultCompileCache returns the shared process-wide compile cache.
+func DefaultCompileCache() *CompileCache { return defaultCompileCache }
 
 // ResetCompileCache empties the process-wide compile cache (tests).
-func ResetCompileCache() {
-	compileCache.Lock()
-	defer compileCache.Unlock()
-	compileCache.m = make(map[string]*Compiled)
-}
+func ResetCompileCache() { defaultCompileCache.Reset() }
 
 // SchemaFingerprint returns a deterministic digest of an external-schema
 // environment. Two compilations of the same source text may share a
@@ -67,20 +130,23 @@ func cacheKey(src, fingerprint string, fusion bool) string {
 	return fmt.Sprintf("%s\x00%t\x00%s", fingerprint, fusion, src)
 }
 
-// CompileCached compiles an EXL program against the external schemas,
-// consulting the process-wide compile cache keyed by (program text,
-// external-schema fingerprint, fusion). On a hit the parse/analyze/
-// generate pipeline is skipped and the shared result returned; hits and
-// misses are counted in the metrics registry carried by ctx, and the
-// current span (if any) is annotated with the outcome.
+// CompileCached compiles through the process-wide default cache; see
+// CompileCache.Compile.
 func CompileCached(ctx context.Context, src string, external map[string]model.Schema, fusion bool) (*Compiled, error) {
+	return defaultCompileCache.Compile(ctx, src, external, fusion)
+}
+
+// Compile compiles an EXL program against the external schemas,
+// consulting the cache keyed by (program text, external-schema
+// fingerprint, fusion). On a hit the parse/analyze/generate pipeline is
+// skipped and the shared result returned; hits and misses are counted in
+// the metrics registry carried by ctx, and the current span (if any) is
+// annotated with the outcome. A nil cache always compiles.
+func (cc *CompileCache) Compile(ctx context.Context, src string, external map[string]model.Schema, fusion bool) (*Compiled, error) {
 	key := cacheKey(src, SchemaFingerprint(external), fusion)
 	met := obs.MetricsFrom(ctx)
 
-	compileCache.Lock()
-	hit := compileCache.m[key]
-	compileCache.Unlock()
-	if hit != nil {
+	if hit := cc.get(key); hit != nil {
 		met.Counter(obs.MetricCompileCacheHits).Inc()
 		if sp := obs.CurrentSpan(ctx); sp != nil {
 			sp.SetAttr(obs.String("cache", "hit"))
@@ -120,14 +186,6 @@ func CompileCached(ctx context.Context, src string, external map[string]model.Sc
 	}
 
 	c := &Compiled{Analyzed: a, Mapping: m}
-	compileCache.Lock()
-	if len(compileCache.m) >= compileCacheCap {
-		for k := range compileCache.m {
-			delete(compileCache.m, k)
-			break
-		}
-	}
-	compileCache.m[key] = c
-	compileCache.Unlock()
+	cc.put(key, c)
 	return c, nil
 }

@@ -141,3 +141,61 @@ func findRoot(tr *obs.Tracer, name string) *obs.Span {
 	}
 	return nil
 }
+
+// TestCompileCacheIsolation: an engine with a private compile cache (or
+// none) shares nothing with the process-wide default — the isolation
+// knob for multi-tenant deployments.
+func TestCompileCacheIsolation(t *testing.T) {
+	ResetCompileCache()
+
+	// Tenant A warms the default cache.
+	a := New()
+	if err := a.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+		t.Fatal(err)
+	}
+	if n := DefaultCompileCache().Len(); n != 1 {
+		t.Fatalf("default cache holds %d entries, want 1", n)
+	}
+
+	// Tenant B uses a private cache: its registration must miss (full
+	// pipeline) and land in its own cache, not the default.
+	priv := NewCompileCache(16)
+	mx := obs.NewRegistry()
+	b := New(WithCompileCache(priv), WithMetrics(mx))
+	if err := b.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+		t.Fatal(err)
+	}
+	if got := mx.Counter(obs.MetricCompileCacheMisses).Value(); got != 1 {
+		t.Errorf("private-cache engine misses = %d, want 1 (no sharing with default)", got)
+	}
+	if got := mx.Counter(obs.MetricCompileCacheHits).Value(); got != 0 {
+		t.Errorf("private-cache engine hits = %d, want 0", got)
+	}
+	if priv.Len() != 1 || DefaultCompileCache().Len() != 1 {
+		t.Errorf("cache sizes: private=%d default=%d, want 1 and 1", priv.Len(), DefaultCompileCache().Len())
+	}
+
+	// A second private-cache engine sharing tenant B's cache hits it.
+	mx2 := obs.NewRegistry()
+	b2 := New(WithCompileCache(priv), WithMetrics(mx2))
+	if err := b2.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+		t.Fatal(err)
+	}
+	if got := mx2.Counter(obs.MetricCompileCacheHits).Value(); got != 1 {
+		t.Errorf("shared private cache hits = %d, want 1", got)
+	}
+
+	// WithCompileCache(nil) disables caching entirely.
+	mx3 := obs.NewRegistry()
+	c := New(WithCompileCache(nil), WithMetrics(mx3))
+	if err := c.RegisterProgram("gdp", workload.GDPProgram); err != nil {
+		t.Fatal(err)
+	}
+	if got := mx3.Counter(obs.MetricCompileCacheMisses).Value(); got != 1 {
+		t.Errorf("nil-cache engine misses = %d, want 1", got)
+	}
+	if DefaultCompileCache().Len() != 1 || priv.Len() != 1 {
+		t.Errorf("nil-cache registration polluted a cache: default=%d priv=%d",
+			DefaultCompileCache().Len(), priv.Len())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"exlengine/internal/dispatch"
 	"exlengine/internal/etl"
 	"exlengine/internal/exl"
+	"exlengine/internal/governor"
 	"exlengine/internal/mapping"
 	"exlengine/internal/matlabgen"
 	"exlengine/internal/model"
@@ -62,6 +63,10 @@ type CubeStore interface {
 
 // Engine is a complete EXLEngine instance.
 type Engine struct {
+	// mu guards the metadata catalog (programs, mappings, graph) and the
+	// engine configuration. Runs snapshot that state under the lock and
+	// then dispatch outside it, so admitted runs execute concurrently —
+	// the governor, not this mutex, bounds run concurrency.
 	mu       sync.Mutex
 	store    CubeStore
 	programs map[string]*exl.Analyzed
@@ -70,6 +75,12 @@ type Engine struct {
 	disp     dispatch.Dispatcher
 	tracer   *obs.Tracer
 	metrics  *obs.Registry
+	gov      *governor.Governor
+	govCfg   *governor.Config // accumulated by governor options until New builds gov
+	cache    *CompileCache
+	cacheSet bool // WithCompileCache was used (nil means "disable caching")
+
+	storeClosed bool // Shutdown closed the store already
 }
 
 // Option configures an Engine.
@@ -136,6 +147,64 @@ func WithMetrics(m *obs.Registry) Option {
 	return func(e *Engine) { e.metrics = m }
 }
 
+// WithCompileCache substitutes the engine's compile cache: a private
+// cache isolates this engine's compilations from every other engine in
+// the process (per-tenant isolation), and nil disables caching entirely.
+// The default is the shared process-wide cache.
+func WithCompileCache(c *CompileCache) Option {
+	return func(e *Engine) {
+		e.cache = c
+		e.cacheSet = true
+	}
+}
+
+// WithGovernor substitutes a fully built resource governor (admission
+// control, memory budgets, circuit breakers). It overrides the
+// piecewise governor options below. A nil governor is ignored.
+func WithGovernor(g *governor.Governor) Option {
+	return func(e *Engine) {
+		if g != nil {
+			e.gov = g
+		}
+	}
+}
+
+// ensureGovCfg lazily allocates the option-accumulated governor config.
+func (e *Engine) ensureGovCfg() *governor.Config {
+	if e.govCfg == nil {
+		e.govCfg = &governor.Config{}
+	}
+	return e.govCfg
+}
+
+// MaxConcurrentRuns bounds how many runs execute at once; further runs
+// queue for admission (bounded queue, deadline-aware) and are shed with
+// typed exlerr.Overload errors past that. Zero or negative: unlimited.
+func MaxConcurrentRuns(n int) Option {
+	return func(e *Engine) { e.ensureGovCfg().MaxConcurrent = n }
+}
+
+// MemoryBudget bounds the process-wide bytes of cube materialization
+// reserved by concurrent runs; a run that cannot fit is first degraded
+// to sequential dispatch and then, if still too large, rejected with a
+// typed overload error. Zero or negative: unlimited.
+func MemoryBudget(bytes int64) Option {
+	return func(e *Engine) { e.ensureGovCfg().MemoryBudget = bytes }
+}
+
+// PerRunMemoryBudget bounds a single run's reservation below the
+// process-wide budget.
+func PerRunMemoryBudget(bytes int64) Option {
+	return func(e *Engine) { e.ensureGovCfg().PerRunBudget = bytes }
+}
+
+// WithBreakers configures the per-backend circuit breakers the
+// dispatcher consults: a backend that keeps failing is skipped by every
+// run until a probe succeeds.
+func WithBreakers(cfg governor.BreakerConfig) Option {
+	return func(e *Engine) { e.ensureGovCfg().Breaker = cfg }
+}
+
 // New returns an empty engine. Fault tolerance is on by default:
 // transient fragment failures retry under dispatch.DefaultRetry, and a
 // target that keeps failing degrades to a fallback target permitted by
@@ -151,7 +220,29 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	if !e.cacheSet {
+		e.cache = defaultCompileCache
+	}
+	if e.gov == nil {
+		if e.govCfg != nil {
+			e.gov = governor.New(*e.govCfg)
+		} else {
+			// Unconfigured engines still get a zero-bound governor so
+			// Shutdown can drain in-flight runs, but with breakers off to
+			// preserve the historical retry/fallback behaviour.
+			e.gov = governor.New(governor.Config{Breaker: governor.BreakerConfig{FailureThreshold: -1}})
+		}
+	}
+	e.gov.SetMetrics(e.metrics)
+	e.disp.Breakers = e.gov.Breakers()
 	return e
+}
+
+// Governor returns the engine's resource governor (never nil).
+func (e *Engine) Governor() *governor.Governor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gov
 }
 
 // DeclareCube registers an elementary cube schema in the metadata catalog.
@@ -220,10 +311,12 @@ func (e *Engine) registerLocked(ctx context.Context, name, src string) error {
 			}
 		}
 	}
-	// Parse/analyze/generate through the compiled-program cache: an
-	// engine re-registering a catalog already compiled elsewhere (same
-	// source, same external schemas) reuses the shared mapping.
-	c, err := CompileCached(ctx, src, external, true)
+	// Parse/analyze/generate through the engine's compile cache (the
+	// shared process-wide one unless WithCompileCache injected a private
+	// or nil cache): an engine re-registering a catalog already compiled
+	// elsewhere (same source, same external schemas) reuses the shared
+	// mapping.
+	c, err := e.cache.Compile(ctx, src, external, true)
 	if err != nil {
 		return err
 	}
@@ -335,7 +428,15 @@ type Report struct {
 	// Generation is the store write generation the run's snapshot was
 	// taken at (see store.Store.Generation).
 	Generation uint64
-	Elapsed    time.Duration
+	// Queued is how long the run waited for an admission slot.
+	Queued time.Duration
+	// MemReserved is the bytes the run reserved against the memory
+	// budget (inputs-derived estimate plus the materialized results).
+	MemReserved int64
+	// MemDegraded reports that parallel dispatch was turned off for this
+	// run to fit the memory budget.
+	MemDegraded bool
+	Elapsed     time.Duration
 }
 
 // runConfig collects the settings of one unified Run call.
@@ -404,18 +505,60 @@ func (e *Engine) Run(ctx context.Context, opts ...RunOption) (*Report, error) {
 	if cfg.metrics != nil {
 		ctx = obs.ContextWithMetrics(ctx, cfg.metrics)
 	}
+	met := obs.MetricsFrom(ctx)
+
+	// Admission control: the governor grants a slot, queues the run, or
+	// sheds it with a typed overload error before any work happens.
+	e.mu.Lock()
+	gov := e.gov
+	e.mu.Unlock()
+	ticket, err := gov.Admit(ctx, 1)
+	if err != nil {
+		met.Counter(obs.MetricRuns).Add(1)
+		met.Counter(obs.MetricRunErrors).Add(1)
+		return nil, err
+	}
+	defer ticket.Release()
+
 	ctx, span := obs.StartSpan(ctx, "run")
 	if cfg.changed != nil {
 		span.SetAttr(obs.Strings("changed", cfg.changed))
 	}
-	rep, err := e.run(ctx, cfg.changed, cfg.assign, cfg.asOf)
-	met := obs.MetricsFrom(ctx)
+	rep, err := e.run(ctx, cfg.changed, cfg.assign, cfg.asOf, ticket)
 	met.Counter(obs.MetricRuns).Add(1)
 	if err != nil {
 		met.Counter(obs.MetricRunErrors).Add(1)
 	}
 	span.EndErr(err)
 	return rep, err
+}
+
+// Shutdown gracefully stops the engine: admission closes (new runs are
+// shed with typed overload errors), in-flight runs drain, and a closable
+// store — e.g. the durable store, which flushes its group-commit queue
+// and closes its WAL — is closed. The context bounds the drain; on
+// expiry the store is left open (in-flight runs still use it) and the
+// context error is returned. Idempotent once it has returned nil.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	gov, st := e.gov, e.store
+	e.mu.Unlock()
+	if err := gov.Shutdown(ctx); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	closed := e.storeClosed
+	e.storeClosed = true
+	e.mu.Unlock()
+	if closed {
+		return nil
+	}
+	if c, ok := st.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunAll recalculates every derived cube of every program, assigning each
@@ -473,31 +616,52 @@ func (e *Engine) RecalculateAt(asOf time.Time, changed ...string) (*Report, erro
 	return e.Run(context.Background(), RunChanged(changed...), RunAt(asOf))
 }
 
-func (e *Engine) run(ctx context.Context, changed []string, assign determine.Assigner, asOf time.Time) (*Report, error) {
+func (e *Engine) run(ctx context.Context, changed []string, assign determine.Assigner, asOf time.Time, ticket *governor.Ticket) (*Report, error) {
+	// Snapshot the engine state under the lock, then dispatch and persist
+	// outside it: the graph and mappings are immutable once built (a
+	// registration swaps whole pointers), the store synchronizes itself,
+	// and the dispatcher copy is used by value — so concurrent admitted
+	// runs really do run concurrently.
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.graph == nil {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("engine: no programs registered")
 	}
+	graph := e.graph
+	disp := e.disp
+	st := e.store
+	schemas := e.allSchemasLocked()
+	progNames := make([]string, 0, len(e.mappings))
+	for n := range e.mappings {
+		progNames = append(progNames, n)
+	}
+	sort.Strings(progNames)
+	mappings := make([]*mapping.Mapping, len(progNames))
+	for i, n := range progNames {
+		mappings[i] = e.mappings[n]
+	}
+	e.mu.Unlock()
+
+	tgds := func(cube string) []*mapping.Tgd { return tgdsIn(mappings, cube) }
 	start := time.Now()
 
 	_, detSpan := obs.StartSpan(ctx, "determine")
 	var plan []determine.StmtRef
 	var err error
 	if changed == nil {
-		plan = e.graph.FullPlan()
+		plan = graph.FullPlan()
 	} else {
-		plan, err = e.graph.Affected(changed)
+		plan, err = graph.Affected(changed)
 		if err != nil {
 			detSpan.EndErr(err)
 			return nil, err
 		}
 	}
 	var subs []determine.Subgraph
-	if e.disp.Parallel {
+	if disp.Parallel {
 		// Component-aware partitioning keeps independent programs in
 		// separate subgraphs so the wave scheduler can overlap them.
-		subs = determine.PartitionByComponent(plan, assign, e.graph)
+		subs = determine.PartitionByComponent(plan, assign, graph)
 	} else {
 		subs = determine.Partition(plan, assign)
 	}
@@ -505,11 +669,10 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	detSpan.SetAttr(obs.Int("subgraphs", len(subs)))
 	detSpan.End()
 
-	schemas := e.allSchemas()
 	// The snapshot shares the store's frozen cube versions: taking it
 	// costs O(#cubes), not O(tuples), and the generation stamps which
 	// store state the run read.
-	snap, gen := e.store.SnapshotVersioned()
+	snap, gen := st.SnapshotVersioned()
 	// Declared cubes without data yet behave as empty relations, so a
 	// program can be validated and run before all inputs have arrived.
 	// They are frozen like every other snapshot member: targets only read
@@ -519,9 +682,42 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 			snap[name] = model.NewCube(sch).Freeze()
 		}
 	}
-	results, drep, err := e.disp.RunContext(ctx, subs, e.tgdsFor, schemas, snap)
+
+	// Charge the run's estimated materialization against the memory
+	// budget before dispatching. Snapshot reads share the store's frozen
+	// cubes, so the run's new memory is the intermediates and results the
+	// targets materialize — estimated from the input working set. When
+	// the full-parallel estimate (every wave's intermediates live at
+	// once) does not fit, degrade to sequential dispatch at half the
+	// estimate before rejecting the run outright.
+	memDegraded := false
+	if est := snapshotEstimate(snap); est > 0 {
+		if rerr := ticket.Reserve(est); rerr != nil {
+			if ticket.Reserve(est/2) != nil {
+				return nil, rerr
+			}
+			disp.Parallel = false
+			memDegraded = true
+			obs.MetricsFrom(ctx).Counter(obs.MetricMemDegraded).Add(1)
+		}
+	}
+
+	results, drep, err := disp.RunContext(ctx, subs, tgds, schemas, snap)
 	if err != nil {
 		return nil, err
+	}
+
+	// Charge the materialized results before they are adopted by the
+	// store: a run whose actual output overshoots the estimate is shed
+	// here, typed, instead of persisting past the budget.
+	var outEst int64
+	for _, c := range results {
+		outEst += c.MemEstimate()
+	}
+	if delta := outEst - ticket.Reserved(); delta > 0 {
+		if rerr := ticket.Reserve(delta); rerr != nil {
+			return nil, rerr
+		}
 	}
 
 	// Persist results as new versions, atomically: either every derived
@@ -533,18 +729,21 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	for _, c := range results {
 		c.Freeze()
 	}
-	if err := e.store.PutAll(results, asOf); err != nil {
+	if err := st.PutAll(results, asOf); err != nil {
 		perSpan.EndErr(err)
 		return nil, err
 	}
 	perSpan.End()
 
 	rep := &Report{
-		Generation: gen,
-		Fragments:  drep.Fragments,
-		Retries:    drep.Retries(),
-		Fallbacks:  drep.Fallbacks(),
-		Elapsed:    time.Since(start),
+		Generation:  gen,
+		Fragments:   drep.Fragments,
+		Retries:     drep.Retries(),
+		Fallbacks:   drep.Fallbacks(),
+		Queued:      ticket.Queued(),
+		MemReserved: ticket.Reserved(),
+		MemDegraded: memDegraded,
+		Elapsed:     time.Since(start),
 	}
 	for _, ref := range plan {
 		rep.Plan = append(rep.Plan, ref.Cube())
@@ -559,9 +758,9 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	return rep, nil
 }
 
-// allSchemas merges the graph's cube schemas with the auxiliary relation
-// schemas of every program mapping.
-func (e *Engine) allSchemas() map[string]model.Schema {
+// allSchemasLocked merges the graph's cube schemas with the auxiliary
+// relation schemas of every program mapping; e.mu held.
+func (e *Engine) allSchemasLocked() map[string]model.Schema {
 	out := make(map[string]model.Schema)
 	if e.graph != nil {
 		for n, sch := range e.graph.Schemas() {
@@ -578,10 +777,11 @@ func (e *Engine) allSchemas() map[string]model.Schema {
 	return out
 }
 
-// tgdsFor returns the tgds generated for a derived cube's statement,
-// auxiliaries included, in stratification order.
-func (e *Engine) tgdsFor(cube string) []*mapping.Tgd {
-	for _, m := range e.mappings {
+// tgdsIn returns the tgds generated for a derived cube's statement,
+// auxiliaries included, in stratification order, from the run's
+// snapshotted mappings (a cube is defined by exactly one program).
+func tgdsIn(mappings []*mapping.Mapping, cube string) []*mapping.Tgd {
+	for _, m := range mappings {
 		var out []*mapping.Tgd
 		for _, t := range m.Tgds {
 			if t.Stmt == cube {
@@ -593,6 +793,16 @@ func (e *Engine) tgdsFor(cube string) []*mapping.Tgd {
 		}
 	}
 	return nil
+}
+
+// snapshotEstimate sums the memory estimates of the snapshot's cubes —
+// the working set the run's targets read and re-materialize from.
+func snapshotEstimate(snap map[string]*model.Cube) int64 {
+	var n int64
+	for _, c := range snap {
+		n += c.MemEstimate()
+	}
+	return n
 }
 
 // Artifact kinds for Translate.

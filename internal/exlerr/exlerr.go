@@ -29,6 +29,12 @@ const (
 	// the failure is a property of the data-exchange setting, not of the
 	// engine, so no retry or fallback can repair it.
 	EgdViolation
+	// Overload means the engine shed the work to protect itself:
+	// admission queue full, deadline unmeetable, memory budget exceeded,
+	// or every permitted backend's circuit breaker open. The work was
+	// never attempted — the caller may resubmit later, but the engine
+	// itself will not retry or degrade (doing so is what it is shedding).
+	Overload
 )
 
 // String renders the class for reports and logs.
@@ -40,6 +46,8 @@ func (c Class) String() string {
 		return "fatal"
 	case EgdViolation:
 		return "egd-violation"
+	case Overload:
+		return "overload"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -74,6 +82,18 @@ func Transientf(format string, args ...any) error {
 func Fatalf(format string, args ...any) error {
 	return &Error{Class: Fatal, Err: fmt.Errorf(format, args...)}
 }
+
+// Overloadf builds a classified overload (load-shed) error from a format
+// string.
+func Overloadf(format string, args ...any) error {
+	return &Error{Class: Overload, Err: fmt.Errorf(format, args...)}
+}
+
+// IsOverload reports whether the error is an overload shed: the engine
+// rejected or abandoned the work to protect itself, without attempting
+// it. Overloaded is the one class a caller can act on mechanically —
+// back off and resubmit.
+func IsOverload(err error) bool { return ClassOf(err) == Overload }
 
 // PanicError is a panic recovered from a target engine or an ETL step
 // goroutine, converted into an ordinary (Fatal) error.

@@ -1,0 +1,244 @@
+package governor
+
+import (
+	"sync"
+	"time"
+
+	"exlengine/internal/exlerr"
+	"exlengine/internal/obs"
+	"exlengine/internal/ops"
+)
+
+// BreakerState is the state of one backend's circuit breaker.
+type BreakerState int
+
+// Breaker states. The gauge values exported to metrics match these
+// constants (0 closed, 1 half-open, 2 open).
+const (
+	// BreakerClosed: the backend is healthy; every attempt is allowed.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; a bounded number of probe
+	// attempts decide whether the backend has recovered.
+	BreakerHalfOpen
+	// BreakerOpen: the backend failed too often; attempts are skipped
+	// until the cooldown elapses.
+	BreakerOpen
+)
+
+// String renders the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes the per-backend circuit breakers.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive recorded failures
+	// that trips a closed breaker open. Zero means 5; negative disables
+	// the breakers entirely (Allow always true).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before moving to
+	// half-open. Zero means 1s.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent probe attempts a half-open
+	// breaker admits. Zero means 1.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// breaker is one backend's state machine.
+type breaker struct {
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openUntil time.Time // when an open breaker may half-open
+	probes    int       // probe attempts remaining while half-open
+}
+
+// BreakerSet holds one circuit breaker per backend target. It implements
+// dispatch.BreakerGate: the dispatcher consults Allow before trying a
+// target and feeds every attempt outcome back through Record, so a
+// backend that keeps failing is skipped by every run — sparing its retry
+// budget — until a probe succeeds. All methods are safe for concurrent
+// use and no-op on a nil set.
+type BreakerSet struct {
+	mu      sync.Mutex
+	cfg     BreakerConfig
+	m       map[ops.Target]*breaker
+	now     func() time.Time
+	metrics *obs.Registry
+}
+
+// NewBreakerSet builds a standalone breaker set (the governor builds one
+// internally; standalone construction is for tests and direct dispatcher
+// wiring).
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return newBreakerSet(cfg, time.Now)
+}
+
+func newBreakerSet(cfg BreakerConfig, now func() time.Time) *BreakerSet {
+	// withDefaults leaves a negative (disabled) threshold untouched.
+	return &BreakerSet{cfg: cfg.withDefaults(), m: make(map[ops.Target]*breaker), now: now}
+}
+
+// SetClock injects the clock (tests).
+func (s *BreakerSet) SetClock(now func() time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+func (s *BreakerSet) get(t ops.Target) *breaker {
+	b := s.m[t]
+	if b == nil {
+		b = &breaker{}
+		s.m[t] = b
+	}
+	return b
+}
+
+func (s *BreakerSet) setStateGauge(t ops.Target, st BreakerState) {
+	s.metrics.Gauge(obs.Label(obs.MetricBreakerState, "target", string(t))).Set(int64(st))
+}
+
+// Allow reports whether an attempt on the target may proceed. An open
+// breaker past its cooldown transitions to half-open and admits a
+// bounded number of probes; a half-open breaker with no probe slots left
+// rejects. A nil set allows everything.
+func (s *BreakerSet) Allow(t ops.Target) bool {
+	if s == nil || s.cfg.FailureThreshold < 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(t)
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if s.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes = s.cfg.HalfOpenProbes
+		s.setStateGauge(t, BreakerHalfOpen)
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// Record feeds one attempt outcome into the target's breaker. A nil err
+// is a success and closes the breaker. Cancellation and egd violations
+// are not backend failures — the first is the caller's doing, the second
+// the data's — and are ignored; overload errors are the governor's own
+// shedding and are likewise ignored. Everything else (transient or
+// fatal, including reclassified fragment timeouts) counts toward the
+// failure threshold: a half-open breaker reopens immediately, a closed
+// one trips once the threshold of consecutive failures is reached.
+func (s *BreakerSet) Record(t ops.Target, err error) {
+	if s == nil || s.cfg.FailureThreshold < 0 {
+		return
+	}
+	if err != nil {
+		if exlerr.IsCancellation(err) {
+			return
+		}
+		if c := exlerr.ClassOf(err); c == exlerr.EgdViolation || c == exlerr.Overload {
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(t)
+	if err == nil {
+		if b.state != BreakerClosed || b.failures > 0 {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.probes = 0
+			s.setStateGauge(t, BreakerClosed)
+		}
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		s.trip(t, b)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= s.cfg.FailureThreshold {
+			s.trip(t, b)
+		}
+	case BreakerOpen:
+		// A straggler attempt admitted before the trip; the breaker is
+		// already open, just extend the cooldown from now.
+		b.openUntil = s.now().Add(s.cfg.Cooldown)
+	}
+}
+
+// trip opens the breaker. Caller holds s.mu.
+func (s *BreakerSet) trip(t ops.Target, b *breaker) {
+	b.state = BreakerOpen
+	b.failures = 0
+	b.probes = 0
+	b.openUntil = s.now().Add(s.cfg.Cooldown)
+	s.setStateGauge(t, BreakerOpen)
+	s.metrics.Counter(obs.Label(obs.MetricBreakerTrips, "target", string(t))).Inc()
+}
+
+// State returns the target's current breaker state (an open breaker past
+// its cooldown still reads open until the next Allow probes it).
+func (s *BreakerSet) State(t ops.Target) BreakerState {
+	if s == nil {
+		return BreakerClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[t]
+	if !ok {
+		return BreakerClosed
+	}
+	return b.state
+}
+
+// Reset closes every breaker (tests, admin).
+func (s *BreakerSet) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for t, b := range s.m {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probes = 0
+		s.setStateGauge(t, BreakerClosed)
+	}
+}

@@ -1,0 +1,196 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"exlengine/internal/exlerr"
+	"exlengine/internal/obs"
+	"exlengine/internal/ops"
+)
+
+// fakeClock is a settable clock for breaker cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreakers(cfg BreakerConfig) (*BreakerSet, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return newBreakerSet(cfg, clk.now), clk
+}
+
+var errBackend = exlerr.Transientf("backend down")
+
+// TestBreakerTripsAndRecovers drives the full closed → open → half-open
+// → closed cycle.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	s, clk := newTestBreakers(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+	tgt := ops.TargetSQL
+
+	for i := 0; i < 2; i++ {
+		if !s.Allow(tgt) {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		s.Record(tgt, errBackend)
+	}
+	if s.State(tgt) != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", s.State(tgt))
+	}
+	s.Record(tgt, errBackend) // third consecutive failure trips
+	if s.State(tgt) != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", s.State(tgt))
+	}
+	if s.Allow(tgt) {
+		t.Fatal("open breaker allowed an attempt inside the cooldown")
+	}
+
+	clk.advance(1100 * time.Millisecond)
+	if !s.Allow(tgt) {
+		t.Fatal("breaker past cooldown rejected the probe")
+	}
+	if s.State(tgt) != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", s.State(tgt))
+	}
+	if s.Allow(tgt) {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	s.Record(tgt, nil) // probe succeeds
+	if s.State(tgt) != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", s.State(tgt))
+	}
+	if !s.Allow(tgt) {
+		t.Fatal("recovered breaker rejected an attempt")
+	}
+}
+
+// TestBreakerFailedProbeReopens: a failed half-open probe reopens the
+// breaker for a fresh cooldown.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	s, clk := newTestBreakers(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	tgt := ops.TargetFrame
+	s.Record(tgt, errBackend)
+	if s.State(tgt) != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !s.Allow(tgt) {
+		t.Fatal("probe rejected after cooldown")
+	}
+	s.Record(tgt, errBackend)
+	if s.State(tgt) != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", s.State(tgt))
+	}
+	if s.Allow(tgt) {
+		t.Fatal("reopened breaker allowed an attempt before the new cooldown")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !s.Allow(tgt) {
+		t.Fatal("second probe rejected after second cooldown")
+	}
+}
+
+// TestBreakerIgnoresNonBackendFailures: cancellation, egd violations and
+// overload sheds must not trip a breaker — they say nothing about the
+// backend's health.
+func TestBreakerIgnoresNonBackendFailures(t *testing.T) {
+	s, _ := newTestBreakers(BreakerConfig{FailureThreshold: 1})
+	tgt := ops.TargetETL
+	s.Record(tgt, errors.New("ctx: "+"ignored?")) // plain error: counts (fatal)
+	if s.State(tgt) != BreakerOpen {
+		t.Fatal("plain (fatal-classified) error must count")
+	}
+	s.Reset()
+	for _, err := range []error{
+		wrapCancel(),
+		exlerr.New(exlerr.EgdViolation, errors.New("dup measure")),
+		exlerr.Overloadf("shed"),
+	} {
+		s.Record(tgt, err)
+	}
+	if s.State(tgt) != BreakerClosed {
+		t.Fatalf("state = %v after non-backend failures, want closed", s.State(tgt))
+	}
+}
+
+func wrapCancel() error {
+	return exlerr.New(exlerr.Transient, context.Canceled)
+}
+
+// TestBreakerSuccessResetsFailureStreak: the threshold counts
+// consecutive failures, so interleaved successes keep the breaker
+// closed.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	s, _ := newTestBreakers(BreakerConfig{FailureThreshold: 3})
+	tgt := ops.TargetSQL
+	for i := 0; i < 10; i++ {
+		s.Record(tgt, errBackend)
+		s.Record(tgt, errBackend)
+		s.Record(tgt, nil)
+	}
+	if s.State(tgt) != BreakerClosed {
+		t.Fatalf("state = %v, want closed (no 3-failure streak occurred)", s.State(tgt))
+	}
+}
+
+// TestBreakerDisabled: a negative threshold disables the breakers.
+func TestBreakerDisabled(t *testing.T) {
+	s, _ := newTestBreakers(BreakerConfig{FailureThreshold: -1})
+	tgt := ops.TargetChase
+	for i := 0; i < 100; i++ {
+		s.Record(tgt, errBackend)
+	}
+	if !s.Allow(tgt) || s.State(tgt) != BreakerClosed {
+		t.Fatal("disabled breakers must always allow")
+	}
+}
+
+// TestBreakerMetrics: trips and state transitions land in the registry.
+func TestBreakerMetrics(t *testing.T) {
+	s, clk := newTestBreakers(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+	mx := obs.NewRegistry()
+	s.metrics = mx
+	tgt := ops.TargetSQL
+	s.Record(tgt, errBackend)
+	if got := mx.Counter(obs.Label(obs.MetricBreakerTrips, "target", "sql")).Value(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	if got := mx.Gauge(obs.Label(obs.MetricBreakerState, "target", "sql")).Value(); got != int64(BreakerOpen) {
+		t.Fatalf("state gauge = %d, want open", got)
+	}
+	clk.advance(2 * time.Second)
+	s.Allow(tgt)
+	s.Record(tgt, nil)
+	if got := mx.Gauge(obs.Label(obs.MetricBreakerState, "target", "sql")).Value(); got != int64(BreakerClosed) {
+		t.Fatalf("state gauge after recovery = %d, want closed", got)
+	}
+}
+
+// TestNilBreakerSet: nil set allows everything and records nothing.
+func TestNilBreakerSet(t *testing.T) {
+	var s *BreakerSet
+	if !s.Allow(ops.TargetSQL) {
+		t.Fatal("nil set must allow")
+	}
+	s.Record(ops.TargetSQL, errBackend)
+	if s.State(ops.TargetSQL) != BreakerClosed {
+		t.Fatal("nil set state must read closed")
+	}
+	s.Reset()
+	s.SetClock(time.Now)
+}

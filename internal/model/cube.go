@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Eps is the default tolerance used when comparing measures produced by
@@ -34,6 +35,9 @@ type Cube struct {
 	schema Schema
 	rows   map[string]Tuple
 	frozen bool
+	// memEst caches MemEstimate once the cube is frozen (0 = uncached);
+	// frozen cubes are shared across goroutines, so the cache is atomic.
+	memEst atomic.Int64
 }
 
 // NewCube returns an empty cube instance for the schema.
@@ -202,6 +206,43 @@ func (c *Cube) Diff(o *Cube, tol float64, max int) []string {
 		}
 	}
 	return out
+}
+
+// Per-entry accounting constants for MemEstimate: Go map bucket share,
+// two string headers (map key + Value.str), slice header and Tuple
+// shell, plus the Value shell per dimension. Deliberately rounded up —
+// the estimate feeds admission budgets, where over-counting degrades
+// gracefully and under-counting OOMs.
+const (
+	tupleOverheadBytes = 120
+	valueShellBytes    = 56
+)
+
+// MemEstimate returns a conservative estimate of the cube's resident
+// size in bytes: per-tuple map and header overhead, key bytes, and the
+// dimension values with their string payloads. The result is cached on
+// frozen cubes (which are immutable and shared), so repeated budgeting
+// of the same snapshot is O(1).
+func (c *Cube) MemEstimate() int64 {
+	if c == nil {
+		return 0
+	}
+	if c.frozen {
+		if v := c.memEst.Load(); v > 0 {
+			return v
+		}
+	}
+	n := int64(tupleOverheadBytes) // the Cube shell and map header
+	for k, t := range c.rows {
+		n += tupleOverheadBytes + int64(len(k))
+		for _, v := range t.Dims {
+			n += valueShellBytes + int64(len(v.str))
+		}
+	}
+	if c.frozen {
+		c.memEst.Store(n)
+	}
+	return n
 }
 
 // CheckFunctional verifies the egd on the cube. It always succeeds for

@@ -188,4 +188,35 @@ const (
 	// MetricStoreTruncatedRecords counts torn or corrupt WAL tails cut
 	// off during recovery.
 	MetricStoreTruncatedRecords = "store_wal_truncated_records_total"
+	// MetricAdmitted counts runs admitted by the governor (immediately or
+	// after queueing).
+	MetricAdmitted = "governor_admitted_total"
+	// MetricShed counts runs rejected by the governor, labelled by reason
+	// (queue_full, deadline, memory, shutdown).
+	MetricShed = "governor_shed_total"
+	// MetricQueueDepth is the current number of runs waiting for an
+	// admission slot.
+	MetricQueueDepth = "governor_queue_depth"
+	// MetricInFlight is the current number of admitted, unreleased runs.
+	MetricInFlight = "governor_inflight_runs"
+	// MetricQueueWait is a histogram of admission queue wait times in
+	// milliseconds (admitted runs only).
+	MetricQueueWait = "governor_queue_wait_ms"
+	// MetricMemReserved is the memory currently reserved against the
+	// process-wide budget, in bytes.
+	MetricMemReserved = "governor_mem_reserved_bytes"
+	// MetricMemPeak is the high-water mark of reserved memory, in bytes.
+	// Under a configured budget it never exceeds the budget.
+	MetricMemPeak = "governor_mem_peak_bytes"
+	// MetricMemDegraded counts runs degraded (parallel dispatch off) to
+	// fit the memory budget instead of being rejected.
+	MetricMemDegraded = "governor_mem_degraded_total"
+	// MetricBreakerState is a per-target gauge of circuit-breaker state:
+	// 0 closed, 1 half-open, 2 open.
+	MetricBreakerState = "breaker_state"
+	// MetricBreakerTrips counts closed→open transitions, per target.
+	MetricBreakerTrips = "breaker_trips_total"
+	// MetricBreakerSkips counts fragment targets skipped by the dispatcher
+	// because their breaker was open, per target.
+	MetricBreakerSkips = "dispatch_breaker_skips_total"
 )

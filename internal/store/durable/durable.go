@@ -464,13 +464,18 @@ func (d *Store) Compact() error {
 }
 
 // Close fsyncs and closes the active WAL. The store must not be used
-// afterwards.
+// afterwards. Writers racing Close fail cleanly: holding d.mu means no
+// commit can append once Close begins, and commits already appended are
+// drained — their group-commit fsync completes — before the file is
+// closed, so every acked commit is durable and no committer ever fsyncs
+// a closed descriptor.
 func (d *Store) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.wal == nil {
 		return nil
 	}
+	d.wal.inflight.Wait()
 	err := d.wal.close()
 	d.wal = nil
 	if d.failed == nil {

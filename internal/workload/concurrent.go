@@ -29,8 +29,12 @@ func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
 // cfg.Iters times (a full engine run plus any read-back the caller wants
 // to interleave). It returns the number of completed invocations and the
 // first error; a worker stops at its first failure, the others finish
-// their loops. The function takes a closure instead of an engine so the
-// workload package stays independent of the orchestrator it exercises.
+// their loops. Cancelling the context stops every worker at its next
+// iteration boundary — no new run starts once ctx is done — and the
+// context error is reported (unless a run failed first), so the caller
+// gets a coherent partial count. The function takes a closure instead of
+// an engine so the workload package stays independent of the
+// orchestrator it exercises.
 func RunConcurrently(ctx context.Context, cfg ConcurrentConfig, run func(context.Context) error) (int, error) {
 	cfg = cfg.withDefaults()
 	var (
@@ -39,17 +43,24 @@ func RunConcurrently(ctx context.Context, cfg ConcurrentConfig, run func(context
 		runs     int
 		firstErr error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < cfg.Iters; i++ {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				if err := run(ctx); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 					return
 				}
 				mu.Lock()

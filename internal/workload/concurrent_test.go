@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -81,5 +83,72 @@ func TestRunConcurrentlyPropagatesError(t *testing.T) {
 	}
 	if runs != 0 {
 		t.Errorf("runs = %d, want 0", runs)
+	}
+}
+
+// waitNoLeak polls until the goroutine count returns to the baseline
+// (the engine/faulttol leak-check pattern).
+func waitNoLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestRunConcurrentlyCancelMidRun: cancelling the context mid-workload
+// stops every worker at its next iteration boundary, reports the
+// cancellation, leaves a coherent partial count, and leaks no
+// goroutines.
+func TestRunConcurrentlyCancelMidRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	eng := newGDPEngine(t, GDPConfig{Days: 60, Regions: 2}, engine.WithParallelDispatch())
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var completed atomic.Int64
+	cfg := ConcurrentConfig{Workers: 4, Iters: 1000} // far more than can finish
+	runs, err := RunConcurrently(ctx, cfg, func(ctx context.Context) error {
+		if _, err := eng.Run(ctx, engine.RunAt(time.Unix(1, 0))); err != nil {
+			return err
+		}
+		if completed.Add(1) >= 4 {
+			cancel() // a few runs in, pull the plug
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs < 4 || runs >= cfg.Workers*cfg.Iters {
+		t.Fatalf("partial count = %d, want a few completed runs, far fewer than %d", runs, cfg.Workers*cfg.Iters)
+	}
+	// Counted runs never exceed the closure's own tally (runs that were
+	// cancelled mid-flight must not be counted as completed).
+	if int64(runs) > completed.Load() {
+		t.Errorf("reported %d completed runs but only %d closures finished", runs, completed.Load())
+	}
+	waitNoLeak(t, before)
+}
+
+// TestRunConcurrentlyPreCancelled: an already-cancelled context starts
+// no runs at all.
+func TestRunConcurrentlyPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	runs, err := RunConcurrently(ctx, ConcurrentConfig{Workers: 3, Iters: 5},
+		func(context.Context) error { calls.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs != 0 || calls.Load() != 0 {
+		t.Errorf("runs=%d calls=%d, want zero work under a dead context", runs, calls.Load())
 	}
 }
