@@ -129,7 +129,7 @@ func BenchmarkE5_EndToEnd(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if _, err := eng.RunAllAt(t0); err != nil {
+		if _, err := eng.Run(context.Background(), RunAt(t0)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -281,7 +281,7 @@ C%02d := (B%02d - shift(B%02d, 1)) * 100 / shift(B%02d, 1)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.RunAllAt(time.Unix(int64(i+1), 0)); err != nil {
+			if _, err := eng.Run(context.Background(), RunAt(time.Unix(int64(i+1), 0))); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -293,20 +293,20 @@ C%02d := (B%02d - shift(B%02d, 1)) * 100 / shift(B%02d, 1)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.RunAllAt(time.Unix(int64(i+1), 0)); err != nil {
+			if _, err := eng.Run(context.Background(), RunAt(time.Unix(int64(i+1), 0))); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("incremental-1-leaf", func(b *testing.B) {
 		eng := build()
-		if _, err := eng.RunAllAt(time.Unix(1, 0)); err != nil {
+		if _, err := eng.Run(context.Background(), RunAt(time.Unix(1, 0))); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.RecalculateAt(time.Unix(int64(i+2), 0), "S00"); err != nil {
+			if _, err := eng.Run(context.Background(), RunChanged("S00"), RunAt(time.Unix(int64(i+2), 0))); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -516,7 +516,7 @@ func BenchmarkDispatchFaultFree(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.RunAllAt(t0); err != nil {
+			if _, err := eng.Run(context.Background(), RunAt(t0)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"exlengine/internal/chase"
+	"exlengine/internal/cli"
 	"exlengine/internal/engine"
 	"exlengine/internal/etl"
 	"exlengine/internal/exl"
@@ -41,12 +42,13 @@ import (
 )
 
 var (
-	quick     bool
-	workers   int
-	iters     int
-	storeDir  string
-	maxConc   int
-	memBudget int64
+	quick   bool
+	workers int
+	iters   int
+	// shared holds the store (-store, used by e12) and governor
+	// (-max-concurrent/-mem-budget, used by e13) flags every EXLEngine
+	// tool exposes through internal/cli.
+	shared = &cli.Flags{}
 )
 
 func main() {
@@ -54,9 +56,8 @@ func main() {
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps for fast runs")
 	flag.IntVar(&workers, "workers", 8, "e11: max concurrent run loops (sweep is 1..workers, doubling)")
 	flag.IntVar(&iters, "iters", 4, "e11: runs per worker")
-	flag.StringVar(&storeDir, "store", "", "e12: durable store directory (default: a temp dir, removed afterwards)")
-	flag.IntVar(&maxConc, "max-concurrent", 4, "e13: admitted run slots (load is driven at 2x this)")
-	flag.Int64Var(&memBudget, "mem-budget", 256<<20, "e13: process-wide cube-materialization budget in bytes")
+	shared.RegisterStore(flag.CommandLine)
+	shared.RegisterGovernor(flag.CommandLine, 4, 256<<20)
 	flag.Parse()
 
 	experiments := []struct {
@@ -377,13 +378,13 @@ func e8() {
 
 	eng := build()
 	full := timeIt(func() {
-		if _, err := eng.RunAllAt(time.Unix(1, 0)); err != nil {
+		if _, err := eng.Run(context.Background(), engine.RunAt(time.Unix(1, 0))); err != nil {
 			panic(err)
 		}
 	})
 	var plan []string
 	incr := timeIt(func() {
-		rep, err := eng.RecalculateAt(time.Unix(2, 0), "S00")
+		rep, err := eng.Run(context.Background(), engine.RunChanged("S00"), engine.RunAt(time.Unix(2, 0)))
 		if err != nil {
 			panic(err)
 		}
@@ -538,7 +539,7 @@ func e12() {
 	if quick {
 		commits = 64
 	}
-	dir := storeDir
+	dir := shared.StoreDir
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "exlbench-e12-")
@@ -631,7 +632,7 @@ func e13() {
 	data := workload.GDPSource(workload.GDPConfig{Days: days, Regions: 5})
 
 	var fs []faults.Fault
-	for i := 0; i < 2*maxConc; i++ {
+	for i := 0; i < 2*shared.MaxConcurrent; i++ {
 		fs = append(fs,
 			faults.Fault{Fragment: faults.AnyFragment, Attempt: 1, Target: ops.TargetSQL, Kind: faults.Error, Class: exlerr.Transient},
 			faults.Fault{Fragment: faults.AnyFragment, Attempt: 1, Target: ops.TargetETL, Kind: faults.Error, Class: exlerr.Transient},
@@ -641,9 +642,9 @@ func e13() {
 
 	mx := obs.NewRegistry()
 	gov := governor.New(governor.Config{
-		MaxConcurrent: maxConc,
-		MaxQueue:      maxConc,
-		MemoryBudget:  memBudget,
+		MaxConcurrent: shared.MaxConcurrent,
+		MaxQueue:      shared.MaxConcurrent,
+		MemoryBudget:  shared.MemBudget,
 		Breaker:       governor.BreakerConfig{FailureThreshold: 4, Cooldown: 50 * time.Millisecond},
 	})
 	eng := engine.New(engine.WithGovernor(gov), engine.WithParallelDispatch(),
@@ -663,7 +664,7 @@ func e13() {
 	asOf := time.Unix(1, 0)
 	start := time.Now()
 	_, err := workload.RunConcurrently(context.Background(),
-		workload.ConcurrentConfig{Workers: 2 * maxConc, Iters: iters},
+		workload.ConcurrentConfig{Workers: 2 * shared.MaxConcurrent, Iters: iters},
 		func(ctx context.Context) error {
 			_, err := eng.Run(ctx, engine.RunAt(asOf))
 			mu.Lock()
@@ -685,14 +686,14 @@ func e13() {
 
 	total := ok + shed + failed
 	fmt.Printf("load: %d workers x %d runs against %d slot(s), queue %d, budget %d MiB\n",
-		2*maxConc, iters, maxConc, maxConc, memBudget>>20)
+		2*shared.MaxConcurrent, iters, shared.MaxConcurrent, shared.MaxConcurrent, shared.MemBudget>>20)
 	fmt.Printf("%-26s %8d\n", "runs completed", ok)
 	fmt.Printf("%-26s %8d\n", "runs shed (typed overload)", shed)
 	fmt.Printf("%-26s %8d\n", "runs failed", failed)
 	fmt.Printf("%-26s %8.1f\n", "completed runs/s", float64(ok)/d.Seconds())
-	fmt.Printf("%-26s %8d of %d\n", "accounted", total, 2*maxConc*iters)
+	fmt.Printf("%-26s %8d of %d\n", "accounted", total, 2*shared.MaxConcurrent*iters)
 	fmt.Printf("%-26s %8.2f MiB (budget %d MiB)\n", "memory peak",
-		float64(gov.MemPeak())/(1<<20), memBudget>>20)
+		float64(gov.MemPeak())/(1<<20), shared.MemBudget>>20)
 	var trips int64
 	for _, tgt := range ops.AllTargets {
 		trips += mx.Counter(obs.Label(obs.MetricBreakerTrips, "target", string(tgt))).Value()

@@ -52,65 +52,25 @@ import (
 	"path/filepath"
 	"time"
 
+	"exlengine/internal/cli"
 	"exlengine/internal/dispatch"
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
-	"exlengine/internal/obs"
 	"exlengine/internal/ops"
-	"exlengine/internal/store/durable"
 )
-
-// traceFlag implements -trace[=json]: a boolean flag that also accepts
-// an output format as its value.
-type traceFlag struct {
-	on   bool
-	json bool
-}
-
-func (f *traceFlag) String() string {
-	switch {
-	case f.on && f.json:
-		return "json"
-	case f.on:
-		return "true"
-	default:
-		return "false"
-	}
-}
-
-func (f *traceFlag) Set(s string) error {
-	switch s {
-	case "", "true", "tree":
-		f.on, f.json = true, false
-	case "json":
-		f.on, f.json = true, true
-	case "false":
-		f.on, f.json = false, false
-	default:
-		return fmt.Errorf("invalid trace format %q (want tree or json)", s)
-	}
-	return nil
-}
-
-func (f *traceFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	programPath := flag.String("program", "", "EXL program file")
 	dataDir := flag.String("data", "", "directory with <CUBE>.csv inputs")
 	target := flag.String("target", "auto", "execution target: auto, chase, sql, etl, frame")
 	outDir := flag.String("out", "", "output directory (default: the data directory)")
-	storeDir := flag.String("store", "", "durable store directory (WAL + snapshots); empty = in-memory only")
 	verbose := flag.Bool("v", false, "print the run report")
 	report := flag.Bool("report", false, "print the fault-tolerance report (attempts, retries, fallbacks)")
-	var trace traceFlag
-	flag.Var(&trace, "trace", "print the run's span tree to stderr (-trace=json for JSON Lines)")
-	metrics := flag.Bool("metrics", false, "print the run's metrics to stderr")
 	timeout := flag.Duration("timeout", 0, "overall run timeout (0 = none)")
 	fragTimeout := flag.Duration("fragment-timeout", 0, "per-fragment attempt timeout (0 = none)")
 	retries := flag.Int("retries", dispatch.DefaultRetry.MaxAttempts, "attempts per target for transient failures")
 	noFallback := flag.Bool("no-fallback", false, "disable degradation to fallback targets")
-	maxConc := flag.Int("max-concurrent", 0, "maximum concurrently executing runs (0 = unlimited)")
-	memBudget := flag.Int64("mem-budget", 0, "process-wide cube-materialization budget in bytes (0 = unlimited)")
+	shared := cli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *programPath == "" || *dataDir == "" {
@@ -134,38 +94,20 @@ func main() {
 	if *noFallback {
 		opts = append(opts, engine.WithoutDegradation())
 	}
-	if *maxConc > 0 {
-		opts = append(opts, engine.MaxConcurrentRuns(*maxConc))
-	}
-	if *memBudget > 0 {
-		opts = append(opts, engine.MemoryBudget(*memBudget))
-	}
 	if *fragTimeout > 0 {
 		opts = append(opts, engine.WithFragmentTimeout(*fragTimeout))
 	}
-	var tracer *obs.Tracer
-	if trace.on {
-		tracer = obs.NewTracer()
-		opts = append(opts, engine.WithTracer(tracer))
+	sinks := shared.Sinks()
+	sharedOpts, closeStore, rec, err := shared.EngineOptions(sinks)
+	if err != nil {
+		fatal(err)
 	}
-	var registry *obs.Registry
-	if *metrics {
-		registry = obs.NewRegistry()
-		opts = append(opts, engine.WithMetrics(registry))
+	defer closeStore()
+	if rec != nil && *verbose {
+		fmt.Fprintf(os.Stderr, "store: recovered generation %d (snapshot %d, %d replayed, %d truncated) in %v\n",
+			rec.Generation, rec.SnapshotGen, rec.ReplayedRecords, rec.TruncatedRecords, rec.Elapsed)
 	}
-	if *storeDir != "" {
-		st, err := durable.Open(*storeDir, durable.WithMetrics(registry))
-		if err != nil {
-			fatal(err)
-		}
-		defer st.Close()
-		if *verbose {
-			rec := st.Recovery()
-			fmt.Fprintf(os.Stderr, "store: recovered generation %d (snapshot %d, %d replayed, %d truncated) in %v\n",
-				rec.Generation, rec.SnapshotGen, rec.ReplayedRecords, rec.TruncatedRecords, rec.Elapsed)
-		}
-		opts = append(opts, engine.WithStore(st))
-	}
+	opts = append(opts, sharedOpts...)
 	eng := engine.New(opts...)
 	if err := eng.RegisterProgram("main", string(src)); err != nil {
 		fatal(err)
@@ -210,16 +152,7 @@ func main() {
 
 	// Diagnostics go out even when the run failed: the trace and the
 	// metrics of a failed run are exactly what one wants to look at.
-	if trace.on {
-		if trace.json {
-			obs.WriteJSONL(os.Stderr, tracer)
-		} else {
-			obs.WriteTree(os.Stderr, tracer)
-		}
-	}
-	if *metrics {
-		registry.WriteText(os.Stderr)
-	}
+	shared.Dump(os.Stderr, sinks)
 	if err != nil {
 		fatal(err)
 	}

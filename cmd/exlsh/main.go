@@ -31,29 +31,30 @@ import (
 	"strings"
 	"time"
 
+	"exlengine/internal/cli"
 	"exlengine/internal/engine"
 	"exlengine/internal/exl"
 	"exlengine/internal/model"
 	"exlengine/internal/obs"
 	"exlengine/internal/ops"
-	"exlengine/internal/store/durable"
 )
 
 func main() {
-	storeDir := flag.String("store", "", "durable store directory (WAL + snapshots); empty = in-memory only")
+	shared := &cli.Flags{}
+	shared.RegisterStore(flag.CommandLine)
+	shared.RegisterGovernor(flag.CommandLine, 0, 0)
 	flag.Parse()
-	var opts []engine.Option
-	if *storeDir != "" {
-		st, err := durable.Open(*storeDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "exlsh:", err)
-			os.Exit(1)
-		}
-		defer st.Close()
-		rec := st.Recovery()
+	// The shell owns its tracer and metrics (\trace and \metrics show
+	// them interactively), so only the store and governor flags apply.
+	opts, closeStore, rec, err := shared.EngineOptions(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exlsh:", err)
+		os.Exit(1)
+	}
+	defer closeStore()
+	if rec != nil {
 		fmt.Printf("store: recovered generation %d from %s in %v\n",
-			rec.Generation, *storeDir, rec.Elapsed.Round(time.Millisecond))
-		opts = append(opts, engine.WithStore(st))
+			rec.Generation, shared.StoreDir, rec.Elapsed.Round(time.Millisecond))
 	}
 	sh := newShell(os.Stdin, os.Stdout, opts...)
 	sh.run()

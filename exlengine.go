@@ -356,11 +356,3 @@ func Validate(src string, external map[string]Schema) error {
 	_, err = exl.Analyze(prog, external)
 	return err
 }
-
-// CompileNormalized is Compile without the fusion pass: every statement is
-// decomposed into single-operator tgds over auxiliary cubes.
-//
-// Deprecated: use Compile(src, external, WithoutFusion()).
-func CompileNormalized(src string, external map[string]Schema) (*Mapping, error) {
-	return Compile(src, external, WithoutFusion())
-}

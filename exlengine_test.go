@@ -1,6 +1,7 @@
 package exlengine
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ GROWTH := (TOTAL - shift(TOTAL, 1)) * 100 / shift(TOTAL, 1)
 		t.Fatal(err)
 	}
 
-	rep, err := eng.RunAll()
+	rep, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFacadeCompile(t *testing.T) {
 	if !strings.Contains(m.String(), "t-1") {
 		t.Errorf("fused shift missing:\n%s", m)
 	}
-	n, err := CompileNormalized("cube A(t: year) measure v\nC := (A - shift(A,1)) / shift(A,1)", nil)
+	n, err := Compile("cube A(t: year) measure v\nC := (A - shift(A,1)) / shift(A,1)", nil, WithoutFusion())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFacadeCompile(t *testing.T) {
 	if _, err := Compile("garbage :=", nil); err == nil {
 		t.Error("bad program must fail")
 	}
-	if _, err := CompileNormalized("garbage :=", nil); err == nil {
+	if _, err := Compile("garbage :=", nil, WithoutFusion()); err == nil {
 		t.Error("bad program must fail")
 	}
 }
@@ -125,23 +126,25 @@ func TestFacadeExternalSchemas(t *testing.T) {
 func TestCompileOptions(t *testing.T) {
 	const src = "cube A(t: year) measure v\nC := (A - shift(A,1)) / shift(A,1)"
 
-	// WithoutFusion matches the deprecated CompileNormalized exactly.
+	// CompileTraced records the compile pipeline's span tree. This must be
+	// the first fused compile of src in the process, or the cache serves it
+	// without the parse/analyze/generate children.
+	tr := NewTracer()
+	fused, err := Compile(src, nil, CompileTraced(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithoutFusion decomposes the statement into single-operator tgds
+	// over auxiliary cubes, so the normalized mapping has strictly more
+	// tgds than the fused one.
 	viaOpt, err := Compile(src, nil, WithoutFusion())
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaOld, err := CompileNormalized(src, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaOpt.String() != viaOld.String() {
-		t.Errorf("WithoutFusion and CompileNormalized disagree:\n%s\n--\n%s", viaOpt, viaOld)
-	}
-
-	// CompileTraced records the compile pipeline's span tree.
-	tr := NewTracer()
-	if _, err := Compile(src, nil, CompileTraced(tr)); err != nil {
-		t.Fatal(err)
+	if len(viaOpt.Tgds) <= len(fused.Tgds) {
+		t.Errorf("WithoutFusion: %d tgds, fused: %d — want strictly more when normalized",
+			len(viaOpt.Tgds), len(fused.Tgds))
 	}
 	roots := tr.Roots()
 	if len(roots) != 1 || roots[0].Name != "compile" {

@@ -37,7 +37,7 @@ func degradedRun(t *testing.T, src string, data map[string]*model.Cube, in *faul
 			t.Fatal(err)
 		}
 	}
-	rep, err := e.RunAll()
+	rep, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatalf("degraded run failed: %v\n%s", err, src)
 	}

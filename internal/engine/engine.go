@@ -245,6 +245,23 @@ func (e *Engine) Governor() *governor.Governor {
 	return e.gov
 }
 
+// Metrics returns the registry attached with WithMetrics, or nil. Every
+// instrument of this engine — runs, dispatch, governor, store — lands
+// there, so a per-tenant engine's registry is that tenant's whole
+// metrics scope.
+func (e *Engine) Metrics() *obs.Registry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.metrics
+}
+
+// Tracer returns the tracer attached with WithTracer, or nil.
+func (e *Engine) Tracer() *obs.Tracer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracer
+}
+
 // DeclareCube registers an elementary cube schema in the metadata catalog.
 func (e *Engine) DeclareCube(sch model.Schema) error {
 	e.mu.Lock()
@@ -559,61 +576,6 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		}
 	}
 	return nil
-}
-
-// RunAll recalculates every derived cube of every program, assigning each
-// statement to its preferred target.
-//
-// Deprecated: use Run(context.Background()).
-func (e *Engine) RunAll() (*Report, error) { return e.Run(context.Background()) }
-
-// RunAllContext is RunAll under a context.
-//
-// Deprecated: use Run(ctx).
-func (e *Engine) RunAllContext(ctx context.Context) (*Report, error) { return e.Run(ctx) }
-
-// RunAllAt is RunAll with an explicit version timestamp for the results.
-//
-// Deprecated: use Run(ctx, RunAt(asOf)).
-func (e *Engine) RunAllAt(asOf time.Time) (*Report, error) {
-	return e.Run(context.Background(), RunAt(asOf))
-}
-
-// RunAllOn recalculates everything on a single fixed target system.
-//
-// Deprecated: use Run(ctx, RunOn(t)).
-func (e *Engine) RunAllOn(t ops.Target) (*Report, error) {
-	return e.Run(context.Background(), RunOn(t))
-}
-
-// RunAllOnContext is RunAllOn under a context.
-//
-// Deprecated: use Run(ctx, RunOn(t)).
-func (e *Engine) RunAllOnContext(ctx context.Context, t ops.Target) (*Report, error) {
-	return e.Run(ctx, RunOn(t))
-}
-
-// Recalculate runs the determination step for the changed cubes and
-// recomputes exactly the affected derived cubes.
-//
-// Deprecated: use Run(ctx, RunChanged(changed...)).
-func (e *Engine) Recalculate(changed ...string) (*Report, error) {
-	return e.Run(context.Background(), RunChanged(changed...))
-}
-
-// RecalculateContext is Recalculate under a context.
-//
-// Deprecated: use Run(ctx, RunChanged(changed...)).
-func (e *Engine) RecalculateContext(ctx context.Context, changed ...string) (*Report, error) {
-	return e.Run(ctx, RunChanged(changed...))
-}
-
-// RecalculateAt is Recalculate with an explicit version timestamp for the
-// results (historicity control).
-//
-// Deprecated: use Run(ctx, RunChanged(changed...), RunAt(asOf)).
-func (e *Engine) RecalculateAt(asOf time.Time, changed ...string) (*Report, error) {
-	return e.Run(context.Background(), RunChanged(changed...), RunAt(asOf))
 }
 
 func (e *Engine) run(ctx context.Context, changed []string, assign determine.Assigner, asOf time.Time, ticket *governor.Ticket) (*Report, error) {

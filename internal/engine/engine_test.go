@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -58,7 +59,7 @@ func TestEndToEndArchitecture(t *testing.T) {
 	ref := chaseReference(t, data)
 	e := newGDPEngine(t, data, WithParallelDispatch())
 
-	rep, err := e.RunAll()
+	rep, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,13 +80,13 @@ func TestEndToEndArchitecture(t *testing.T) {
 	}
 }
 
-func TestRunAllOnEachTarget(t *testing.T) {
+func TestRunOnEachTarget(t *testing.T) {
 	data := workload.GDPSource(workload.GDPConfig{Days: 200, Regions: 2})
 	ref := chaseReference(t, data)
 	for _, target := range ops.AllTargets {
 		t.Run(string(target), func(t *testing.T) {
 			e := newGDPEngine(t, data)
-			if _, err := e.RunAllOn(target); err != nil {
+			if _, err := e.Run(context.Background(), RunOn(target)); err != nil {
 				t.Fatal(err)
 			}
 			got, _ := e.Cube("PCHNG")
@@ -102,7 +103,7 @@ func TestRunAllOnEachTarget(t *testing.T) {
 func TestIncrementalRecalculation(t *testing.T) {
 	data := workload.GDPSource(workload.GDPConfig{Days: 200, Regions: 2})
 	e := newGDPEngine(t, data)
-	if _, err := e.RunAllAt(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+	if _, err := e.Run(context.Background(), RunAt(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))); err != nil {
 		t.Fatal(err)
 	}
 	pqrBefore, _ := e.Cube("PQR")
@@ -113,7 +114,7 @@ func TestIncrementalRecalculation(t *testing.T) {
 	if err := e.PutCube(newData["RGDPPC"], t1); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.RecalculateAt(t1, "RGDPPC")
+	rep, err := e.Run(context.Background(), RunChanged("RGDPPC"), RunAt(t1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestMultiProgramEngine(t *testing.T) {
 	t0 := time.Unix(0, 0)
 	_ = e.PutCube(data["PDR"], t0)
 	_ = e.PutCube(data["RGDPPC"], t0)
-	rep, err := e.RunAll()
+	rep, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,8 +241,8 @@ func TestRegisterProgramErrors(t *testing.T) {
 
 func TestRunWithoutPrograms(t *testing.T) {
 	e := New()
-	if _, err := e.RunAll(); err == nil {
-		t.Error("RunAll without programs must fail")
+	if _, err := e.Run(context.Background()); err == nil {
+		t.Error("Run without programs must fail")
 	}
 }
 
@@ -257,7 +258,7 @@ func TestCSVLifecycle(t *testing.T) {
 	if err := e.LoadCSV("NOPE", strings.NewReader(csv), time.Unix(0, 0)); err == nil {
 		t.Error("undeclared cube must fail")
 	}
-	if _, err := e.RunAll(); err != nil {
+	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -301,7 +302,7 @@ func TestEngineConcurrentUse(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 5; i++ {
-		if _, err := e.RecalculateAt(time.Date(2030+i, 1, 1, 0, 0, 0, 0, time.UTC), "RGDPPC"); err != nil {
+		if _, err := e.Run(context.Background(), RunChanged("RGDPPC"), RunAt(time.Date(2030+i, 1, 1, 0, 0, 0, 0, time.UTC))); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -58,7 +58,7 @@ func TestFaultToleranceEndToEnd(t *testing.T) {
 		WithDispatchMiddleware(inj.Middleware()))
 
 	before := runtime.NumGoroutine()
-	rep, err := e.RunAll()
+	rep, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatalf("run must survive both faults: %v", err)
 	}
@@ -132,14 +132,14 @@ func TestFaultToleranceEndToEnd(t *testing.T) {
 	waitNoGoroutineLeak(t, before)
 }
 
-// TestRunAllContextCancelled: a cancelled context aborts the run before
+// TestRunContextCancelled: a cancelled context aborts the run before
 // any work and persists nothing.
-func TestRunAllContextCancelled(t *testing.T) {
+func TestRunContextCancelled(t *testing.T) {
 	data := workload.GDPSource(workload.GDPConfig{Days: 100, Regions: 2})
 	e := newGDPEngine(t, data)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := e.RunAllContext(ctx); !errors.Is(err, context.Canceled) {
+	if _, err := e.Run(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if _, ok := e.Cube("GDP"); ok {
@@ -155,7 +155,7 @@ func TestWithoutDegradationFailsRun(t *testing.T) {
 		Fragment: 0, Kind: faults.Error, Class: exlerr.Fatal,
 	})
 	e := newGDPEngine(t, data, WithoutDegradation(), WithDispatchMiddleware(inj.Middleware()))
-	if _, err := e.RunAll(); err == nil {
+	if _, err := e.Run(context.Background()); err == nil {
 		t.Fatal("fatal fragment error with degradation off must fail the run")
 	}
 	for _, rel := range []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"} {
@@ -181,7 +181,7 @@ func TestDegradedParallelRunMatchesChase(t *testing.T) {
 		WithParallelDispatch(),
 		WithSleeper(func(context.Context, time.Duration) error { return nil }),
 		WithDispatchMiddleware(faults.NewInjector(faultPlan...).Middleware()))
-	rep, err := e.RunAll()
+	rep, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -231,14 +231,14 @@ func TestTracedParallelDispatchRace(t *testing.T) {
 	}
 }
 
-// TestRunOptionEquivalence checks that the deprecated run variants and
-// the unified Run API compute identical cubes.
+// TestRunOptionEquivalence checks that the unified Run API is
+// deterministic across engines and that its options compose.
 func TestRunOptionEquivalence(t *testing.T) {
 	data := workload.GDPSource(workload.GDPConfig{Days: 100, Regions: 2})
 	t0 := time.Unix(10, 0)
 
 	oldE := newGDPEngine(t, data)
-	if _, err := oldE.RunAllAt(t0); err != nil {
+	if _, err := oldE.Run(context.Background(), RunAt(t0)); err != nil {
 		t.Fatal(err)
 	}
 	newE := newGDPEngine(t, data)
@@ -248,14 +248,14 @@ func TestRunOptionEquivalence(t *testing.T) {
 	for _, rel := range []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"} {
 		a, ok := oldE.Cube(rel)
 		if !ok {
-			t.Fatalf("old API: cube %s missing", rel)
+			t.Fatalf("first engine: cube %s missing", rel)
 		}
 		b, ok := newE.Cube(rel)
 		if !ok {
-			t.Fatalf("new API: cube %s missing", rel)
+			t.Fatalf("second engine: cube %s missing", rel)
 		}
 		if !a.Equal(b, 0) {
-			t.Errorf("%s differs between RunAllAt and Run(RunAt)", rel)
+			t.Errorf("%s differs between two identical Run(RunAt) calls", rel)
 		}
 	}
 

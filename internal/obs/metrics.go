@@ -32,6 +32,15 @@ func NewRegistry() *Registry {
 	}
 }
 
+// defaultRegistry is the process-wide registry Default hands out. It
+// exists for single-tenant processes (the CLIs) that want one sink for
+// everything; multi-tenant code must build one registry per tenant with
+// NewRegistry so tenants never share instruments.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return defaultRegistry }
+
 // Counter returns (creating if needed) the counter with the name. Use
 // Label to render labelled names.
 func (r *Registry) Counter(name string) *Counter {

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"exlengine/internal/obs"
+	"exlengine/internal/store"
+)
+
+// Load-harness metric names, recorded in LoadConfig.Metrics.
+const (
+	// MetricLoadRunLatency is per-run request latency in milliseconds.
+	MetricLoadRunLatency = "load_run_latency_ms"
+	// MetricLoadRunsOK counts runs that returned 200.
+	MetricLoadRunsOK = "load_runs_ok_total"
+	// MetricLoadRunsShed counts runs rejected with 429 or 503 — the
+	// governor shedding under overload, as designed.
+	MetricLoadRunsShed = "load_runs_shed_total"
+	// MetricLoadErrors counts everything else: transport failures and
+	// unexpected statuses anywhere in the session flow.
+	MetricLoadErrors = "load_errors_total"
+	// MetricLoadSessions counts sessions the harness opened.
+	MetricLoadSessions = "load_sessions_total"
+)
+
+// LoadConfig shapes an HTTP load run against an exlserve instance.
+type LoadConfig struct {
+	// BaseURL of the server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Sessions is the number of concurrent client sessions. Each opens
+	// its own server session, loads data, and issues runs.
+	Sessions int
+	// Tenants spreads sessions across this many tenant namespaces
+	// (round-robin). Defaults to 1.
+	Tenants int
+	// RunsPerSession is how many runs each session issues. Defaults to 1.
+	RunsPerSession int
+	// GDP sizes the synthetic dataset each tenant works on.
+	GDP GDPConfig
+	// Metrics receives latency and outcome metrics. Defaults to a fresh
+	// registry.
+	Metrics *obs.Registry
+	// Client overrides the HTTP client (defaults to one with a 60s
+	// timeout).
+	Client *http.Client
+}
+
+// LoadReport summarizes a load run.
+type LoadReport struct {
+	Sessions int           // sessions opened
+	Runs     int64         // run requests issued
+	OK       int64         // runs that returned 200
+	Shed     int64         // runs rejected 429/503 (typed overload)
+	Errors   int64         // transport failures and unexpected statuses
+	P50      time.Duration // median run latency
+	P99      time.Duration // tail run latency
+	Elapsed  time.Duration // wall time for the whole load run
+	Metrics  *obs.Registry // the registry everything was recorded in
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("sessions=%d runs=%d ok=%d shed=%d errors=%d p50=%s p99=%s elapsed=%s",
+		r.Sessions, r.Runs, r.OK, r.Shed, r.Errors,
+		r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+		r.Elapsed.Round(time.Millisecond))
+}
+
+// RunLoad drives cfg.Sessions concurrent sessions against the server:
+// each opens a session in its tenant, registers the GDP program (409
+// from a session that lost the per-tenant race is benign), uploads the
+// source cubes as CSV, issues runs, and closes the session. Outcomes
+// and latency quantiles are recorded through cfg.Metrics; overload
+// rejections (429/503) count as shed, not errors — under deliberate
+// overload they are the server working correctly.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return LoadReport{}, fmt.Errorf("workload: BaseURL is required")
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
+	if cfg.RunsPerSession <= 0 {
+		cfg.RunsPerSession = 1
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+
+	// Serialize the source cubes once; every session uploads the same
+	// bytes.
+	data := GDPSource(cfg.GDP)
+	csv := make(map[string][]byte, len(data))
+	for name, cube := range data {
+		var buf bytes.Buffer
+		if err := store.WriteCSV(&buf, cube); err != nil {
+			return LoadReport{}, fmt.Errorf("workload: serialize %s: %w", name, err)
+		}
+		csv[name] = buf.Bytes()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("load-%02d", i%cfg.Tenants)
+			runSession(ctx, cfg, tenant, csv)
+		}(i)
+	}
+	wg.Wait()
+
+	reg := cfg.Metrics
+	h := reg.Histogram(MetricLoadRunLatency)
+	rep := LoadReport{
+		Sessions: cfg.Sessions,
+		Runs:     h.Count(),
+		OK:       reg.Counter(MetricLoadRunsOK).Value(),
+		Shed:     reg.Counter(MetricLoadRunsShed).Value(),
+		Errors:   reg.Counter(MetricLoadErrors).Value(),
+		P50:      time.Duration(h.Quantile(0.50) * float64(time.Millisecond)),
+		P99:      time.Duration(h.Quantile(0.99) * float64(time.Millisecond)),
+		Elapsed:  time.Since(start),
+		Metrics:  reg,
+	}
+	return rep, nil
+}
+
+// runSession is one client's full lifecycle against the server.
+func runSession(ctx context.Context, cfg LoadConfig, tenant string, csv map[string][]byte) {
+	reg := cfg.Metrics
+	sid, err := openSession(ctx, cfg, tenant)
+	if err != nil {
+		reg.Counter(MetricLoadErrors).Inc()
+		return
+	}
+	reg.Counter(MetricLoadSessions).Inc()
+	defer func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodDelete,
+			cfg.BaseURL+"/v1/sessions/"+sid, nil)
+		if resp, err := cfg.Client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Register the program; exactly one session per tenant wins, the
+	// rest see 409 Conflict — both mean the program is in place.
+	status, err := doJSON(ctx, cfg, sid, http.MethodPost, "/v1/programs",
+		map[string]string{"name": "gdp", "source": GDPProgram}, nil)
+	if err != nil || (status != http.StatusCreated && status != http.StatusConflict) {
+		reg.Counter(MetricLoadErrors).Inc()
+		return
+	}
+
+	for name, body := range csv {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			cfg.BaseURL+"/v1/cubes/"+name, bytes.NewReader(body))
+		if err != nil {
+			reg.Counter(MetricLoadErrors).Inc()
+			return
+		}
+		req.Header.Set("X-EXL-Session", sid)
+		req.Header.Set("Content-Type", "text/csv")
+		resp, err := cfg.Client.Do(req)
+		if err != nil {
+			reg.Counter(MetricLoadErrors).Inc()
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			reg.Counter(MetricLoadErrors).Inc()
+			return
+		}
+	}
+
+	for i := 0; i < cfg.RunsPerSession; i++ {
+		t0 := time.Now()
+		status, err := doJSON(ctx, cfg, sid, http.MethodPost, "/v1/run", struct{}{}, nil)
+		reg.Histogram(MetricLoadRunLatency).ObserveDuration(time.Since(t0))
+		switch {
+		case err != nil:
+			reg.Counter(MetricLoadErrors).Inc()
+		case status == http.StatusOK:
+			reg.Counter(MetricLoadRunsOK).Inc()
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			reg.Counter(MetricLoadRunsShed).Inc()
+		default:
+			reg.Counter(MetricLoadErrors).Inc()
+		}
+	}
+}
+
+// openSession creates a server session in the tenant and returns its ID.
+func openSession(ctx context.Context, cfg LoadConfig, tenant string) (string, error) {
+	var out struct {
+		Session string `json:"session"`
+	}
+	status, err := doJSON(ctx, cfg, "", http.MethodPost, "/v1/sessions",
+		map[string]string{"tenant": tenant}, &out)
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusCreated {
+		return "", fmt.Errorf("workload: session create: status %d", status)
+	}
+	return out.Session, nil
+}
+
+// doJSON posts body as JSON and optionally decodes the response into out.
+func doJSON(ctx context.Context, cfg LoadConfig, sid, method, path string, body, out any) (int, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cfg.BaseURL+path, &buf)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sid != "" {
+		req.Header.Set("X-EXL-Session", sid)
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,97 @@
+package workload_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"exlengine/internal/workload"
+	"exlengine/server"
+)
+
+// loadSessions is the smoke-scale session count; TestLoadHarness drives
+// this many concurrent client sessions against an in-process server.
+const loadSessions = 500
+
+// TestLoadHarness drives hundreds of concurrent sessions through the
+// full HTTP flow (session → program → data → run → close) against an
+// in-process server sized well below the offered load, so a share of
+// runs is shed with typed 429/503 — never a 500 or transport error —
+// and no goroutine survives shutdown.
+func TestLoadHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke is not a -short test")
+	}
+	before := runtime.NumGoroutine()
+
+	srv := server.New(server.Config{
+		MaxConcurrent:      4, // per tenant — far below the offered load
+		SessionIdleTimeout: time.Minute,
+	})
+	ts := httptest.NewServer(srv.Handler())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := workload.RunLoad(ctx, workload.LoadConfig{
+		BaseURL:        ts.URL,
+		Sessions:       loadSessions,
+		Tenants:        8,
+		RunsPerSession: 1,
+		GDP:            workload.GDPConfig{Days: 120, Regions: 2},
+		Client: &http.Client{
+			Timeout: 3 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: loadSessions,
+				MaxConnsPerHost:     0,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load: %s", rep)
+
+	if got := rep.Metrics.Counter(workload.MetricLoadSessions).Value(); got != loadSessions {
+		t.Errorf("opened %d sessions, want %d", got, loadSessions)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run saw %d hard errors (want only 200s and typed 429/503 sheds)", rep.Errors)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no run succeeded")
+	}
+	if rep.OK+rep.Shed != rep.Runs {
+		t.Fatalf("ok=%d + shed=%d != runs=%d", rep.OK, rep.Shed, rep.Runs)
+	}
+	if rep.P99 < rep.P50 {
+		t.Errorf("p99=%s < p50=%s", rep.P99, rep.P50)
+	}
+
+	ts.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown after load: %v", err)
+	}
+	waitNoLeakBaseline(t, before)
+}
+
+// waitNoLeakBaseline polls until the goroutine count returns to the
+// pre-test baseline (mirrors waitNoLeak in the internal test package).
+func waitNoLeakBaseline(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak after load: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

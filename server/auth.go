@@ -1,0 +1,54 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Authenticator authorizes a request's bearer token for a tenant
+// namespace. It is consulted once, at session creation; the session ID
+// the server hands back is the capability every later request rides on.
+//
+// Implementations decide what a token means: the default AllowAll admits
+// any token (including none) to any tenant, StaticTokens maps fixed
+// tokens to tenants, and integrators plug in anything else — an OIDC
+// validator, an API-key database — behind this one method.
+type Authenticator interface {
+	// Authenticate returns nil when token may open sessions in tenant.
+	// A non-nil error is reported to the client as 401 Unauthorized.
+	Authenticate(token, tenant string) error
+}
+
+// AllowAll is the default authenticator: every token (even an empty one)
+// opens any tenant. It is the right default for trusted-network and
+// development deployments; production deployments substitute their own.
+type AllowAll struct{}
+
+// Authenticate always succeeds.
+func (AllowAll) Authenticate(token, tenant string) error { return nil }
+
+// StaticTokens authorizes from a fixed token→tenant table: a token opens
+// exactly the tenants listed for it, and the wildcard tenant "*" opens
+// every tenant.
+type StaticTokens map[string][]string
+
+// Authenticate checks the token's tenant list.
+func (s StaticTokens) Authenticate(token, tenant string) error {
+	for _, t := range s[token] {
+		if t == tenant || t == "*" {
+			return nil
+		}
+	}
+	return fmt.Errorf("token not authorized for tenant %q", tenant)
+}
+
+// bearerToken extracts the Authorization bearer token, or "".
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if strings.HasPrefix(h, prefix) {
+		return strings.TrimSpace(h[len(prefix):])
+	}
+	return ""
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// session is one client's lease on a tenant namespace. A session pins
+// its tenant open (refcounted), carries the idle clock the reaper
+// watches, and scopes the process list: clients see and cancel runs
+// through their session.
+type session struct {
+	id      string
+	tenant  *tenant
+	created time.Time
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	closed   bool
+}
+
+// touch bumps the idle clock; it reports false when the session is
+// already closed (a racing reaper won).
+func (s *session) touch(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.lastUsed = now
+	return true
+}
+
+// idleSince returns the last-use instant, or zero time when closed.
+func (s *session) idleSince() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUsed, !s.closed
+}
+
+// markClosed flips the session closed exactly once.
+func (s *session) markClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	return true
+}
+
+// sessionSet owns the session table and the idle reaper.
+type sessionSet struct {
+	cfg *Config
+
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+func newSessionSet(cfg *Config) *sessionSet {
+	return &sessionSet{cfg: cfg, m: make(map[string]*session)}
+}
+
+// newID returns a 128-bit random session ID.
+func newID(prefix string) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: crypto/rand failed: %v", err))
+	}
+	return prefix + hex.EncodeToString(b[:])
+}
+
+// add registers a freshly created session.
+func (ss *sessionSet) add(s *session) {
+	ss.mu.Lock()
+	ss.m[s.id] = s
+	n := len(ss.m)
+	ss.mu.Unlock()
+	ss.cfg.Metrics.Gauge(MetricSessionsActive).Set(int64(n))
+	ss.cfg.Metrics.Counter(MetricSessionsOpened).Inc()
+}
+
+// get looks a session up without touching it.
+func (ss *sessionSet) get(id string) (*session, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s, ok := ss.m[id]
+	return s, ok
+}
+
+// remove unlinks the session from the table (close/reap path).
+func (ss *sessionSet) remove(id string) {
+	ss.mu.Lock()
+	delete(ss.m, id)
+	n := len(ss.m)
+	ss.mu.Unlock()
+	ss.cfg.Metrics.Gauge(MetricSessionsActive).Set(int64(n))
+}
+
+// count returns the number of live sessions.
+func (ss *sessionSet) count() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.m)
+}
+
+// all snapshots the live sessions.
+func (ss *sessionSet) all() []*session {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]*session, 0, len(ss.m))
+	for _, s := range ss.m {
+		out = append(out, s)
+	}
+	return out
+}
+
+// expired returns the sessions idle longer than the timeout at instant
+// now.
+func (ss *sessionSet) expired(now time.Time, timeout time.Duration) []*session {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var out []*session
+	for _, s := range ss.m {
+		if last, live := s.idleSince(); live && now.Sub(last) > timeout {
+			out = append(out, s)
+		}
+	}
+	return out
+}
