@@ -35,18 +35,20 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
+		addr = flag.String("addr", ":8080", "listen address")
+		// -data-dir, not the shared -store: the one-shot tools open one
+		// store at the directory, the server opens one per tenant under it.
+		dataDir     = flag.String("data-dir", "", "durable tenant root (state lives under DIR/<tenant>); empty = in-memory tenants")
 		idleTimeout = flag.Duration("session-idle-timeout", 5*time.Minute, "evict sessions idle this long")
 		authTokens  = flag.String("auth-tokens", "", "comma-separated token=tenant pairs (tenant * = any); empty allows all")
 	)
 	shared := &cli.Flags{}
-	shared.RegisterStore(flag.CommandLine)
 	shared.RegisterGovernor(flag.CommandLine, 0, 0)
 	flag.Parse()
 
 	cfg := server.Config{
 		Addr:               *addr,
-		DataDir:            shared.StoreDir,
+		DataDir:            *dataDir,
 		MaxConcurrent:      shared.MaxConcurrent,
 		MemBudget:          shared.MemBudget,
 		SessionIdleTimeout: *idleTimeout,

@@ -10,6 +10,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -269,6 +270,16 @@ func (e *Engine) DeclareCube(sch model.Schema) error {
 	return e.store.Declare(sch)
 }
 
+// ErrProgramRegistered reports a RegisterProgram under a name that is
+// already taken. The returned error wraps it with the program name, so
+// callers classify with errors.Is rather than matching message text.
+var ErrProgramRegistered = errors.New("already registered")
+
+// ErrCubeNotDeclared reports a reference to a cube name absent from the
+// catalog: no declaration and no registered program derives it. Wrapped
+// with the cube name; classify with errors.Is.
+var ErrCubeNotDeclared = errors.New("not declared")
+
 // RegisterProgram parses, analyzes and translates an EXL program, adding
 // its cubes to the global dependency graph. A program may reference cubes
 // declared in the catalog or derived by previously registered programs.
@@ -294,7 +305,7 @@ func (e *Engine) RegisterProgram(name, src string) error {
 // registerLocked is RegisterProgram behind the compile span; e.mu held.
 func (e *Engine) registerLocked(ctx context.Context, name, src string) error {
 	if _, dup := e.programs[name]; dup {
-		return fmt.Errorf("engine: program %s already registered", name)
+		return fmt.Errorf("engine: program %s %w", name, ErrProgramRegistered)
 	}
 	external := make(map[string]model.Schema)
 	for _, n := range e.store.Names() {
@@ -402,7 +413,7 @@ func (e *Engine) PutCube(c *model.Cube, asOf time.Time) error {
 func (e *Engine) LoadCSV(name string, r io.Reader, asOf time.Time) error {
 	sch, ok := e.store.Schema(name)
 	if !ok {
-		return fmt.Errorf("engine: cube %s is not declared", name)
+		return fmt.Errorf("engine: cube %s is %w", name, ErrCubeNotDeclared)
 	}
 	c, err := store.ReadCSV(r, sch)
 	if err != nil {

@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -227,8 +228,8 @@ func TestRegisterProgramErrors(t *testing.T) {
 	if err := e.RegisterProgram("gdp", workload.GDPProgram); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.RegisterProgram("gdp", workload.GDPProgram); err == nil {
-		t.Error("duplicate program name must fail")
+	if err := e.RegisterProgram("gdp", workload.GDPProgram); !errors.Is(err, ErrProgramRegistered) {
+		t.Errorf("duplicate program name = %v, want ErrProgramRegistered", err)
 	}
 	if err := e.RegisterProgram("dup", "cube PDR(d: day, r: string)\nX := PDR * 1"); err == nil {
 		t.Error("redeclaring an existing cube with a program must fail")
@@ -255,8 +256,8 @@ func TestCSVLifecycle(t *testing.T) {
 	if err := e.LoadCSV("A", strings.NewReader(csv), time.Unix(0, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.LoadCSV("NOPE", strings.NewReader(csv), time.Unix(0, 0)); err == nil {
-		t.Error("undeclared cube must fail")
+	if err := e.LoadCSV("NOPE", strings.NewReader(csv), time.Unix(0, 0)); !errors.Is(err, ErrCubeNotDeclared) {
+		t.Errorf("undeclared cube = %v, want ErrCubeNotDeclared", err)
 	}
 	if _, err := e.Run(context.Background()); err != nil {
 		t.Fatal(err)

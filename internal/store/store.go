@@ -28,6 +28,12 @@ import (
 // reads, the requested instant, so errors.Is(err, ErrNotFound) works.
 var ErrNotFound = errors.New("store: cube not found")
 
+// ErrStaleVersion reports an optimistic-concurrency loss: a write's asOf
+// stamp is older than the cube's latest committed version. checkPut wraps
+// it with the cube name and both instants, so errors.Is(err,
+// ErrStaleVersion) works; the write is retryable with a fresher stamp.
+var ErrStaleVersion = errors.New("older than the latest")
+
 // Store is a versioned, concurrency-safe cube repository.
 //
 // Stored cube versions are frozen (model.Cube.Freeze) at write time, so
@@ -128,7 +134,7 @@ func (s *Store) checkPut(c *model.Cube, asOf time.Time) error {
 		return fmt.Errorf("store: cube %s dimensionality changed", name)
 	}
 	if vs := s.cubes[name]; len(vs) > 0 && vs[len(vs)-1].asOf.After(asOf) {
-		return fmt.Errorf("store: version for %s at %v is older than the latest (%v)", name, asOf, vs[len(vs)-1].asOf)
+		return fmt.Errorf("store: version for %s at %v is %w (%v)", name, asOf, ErrStaleVersion, vs[len(vs)-1].asOf)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -84,9 +85,10 @@ func TestVersioning(t *testing.T) {
 		t.Errorf("Versions = %v", vs)
 	}
 
-	// Writing an older version than the latest is rejected.
-	if err := s.Put(v1, t1); err == nil {
-		t.Error("out-of-order Put must fail")
+	// Writing an older version than the latest is rejected with the
+	// typed stale-version error HTTP callers classify on.
+	if err := s.Put(v1, t1); !errors.Is(err, ErrStaleVersion) {
+		t.Errorf("out-of-order Put = %v, want ErrStaleVersion", err)
 	}
 	// Dimensionality change via Put is rejected.
 	bad := model.NewCube(model.NewSchema("A", []model.Dim{{Name: "x", Type: model.TInt}, {Name: "y", Type: model.TInt}}, "v"))

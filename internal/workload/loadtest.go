@@ -181,7 +181,11 @@ func runSession(ctx context.Context, cfg LoadConfig, tenant string, csv map[stri
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
+		// Like the register 409 above: concurrent sessions upload the
+		// same bytes, each stamped server-side at its own instant, and a
+		// commit-order inversion rejects the older stamp as stale. The
+		// cube is in place either way.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
 			reg.Counter(MetricLoadErrors).Inc()
 			return
 		}

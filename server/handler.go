@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"time"
 
 	"exlengine/internal/engine"
@@ -56,7 +55,7 @@ func writeEngineError(w http.ResponseWriter, reg *obs.Registry, err error) {
 	case exlerr.IsCancellation(err):
 		reg.Counter(MetricHTTPErrors).Inc()
 		writeError(w, http.StatusBadRequest, "run canceled: %v", err)
-	case strings.Contains(err.Error(), "older than the latest"):
+	case errors.Is(err, store.ErrStaleVersion):
 		// Optimistic-concurrency loss: a client-stamped write raced a
 		// newer version. Retryable by the client with a fresher stamp.
 		reg.Counter(MetricHTTPErrors).Inc()
@@ -170,6 +169,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := s.tenants.acquire(req.Tenant)
 	if err != nil {
+		// acquire re-checks shutdown under the tenant-set lock: the early
+		// s.shutdown check above cannot exclude a Shutdown that lands
+		// between it and the open (e.g. when the handler is embedded and
+		// httpSrv.Shutdown never quiesces this request).
+		if errors.Is(err, errServerClosed) {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -208,10 +216,11 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
 }
 
-// withSession resolves the X-EXL-Session header, touches the idle
-// clock, and passes the session through. Unknown or expired sessions
-// get 401 — the client must create a new session (and with it, possibly
-// resurrect its durable tenant).
+// withSession resolves the X-EXL-Session header, pins the session for
+// the duration of the request (a session with a request in flight is
+// never idle, however long the request runs), and passes it through.
+// Unknown or expired sessions get 401 — the client must create a new
+// session (and with it, possibly resurrect its durable tenant).
 func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(SessionHeader)
@@ -220,10 +229,11 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *session
 			return
 		}
 		sess, ok := s.sessions.get(id)
-		if !ok || !sess.touch(time.Now()) {
+		if !ok || !sess.beginWork(time.Now()) {
 			writeError(w, http.StatusUnauthorized, "unknown or expired session")
 			return
 		}
+		defer func() { sess.endWork(time.Now()) }()
 		h(w, r, sess)
 	}
 }
@@ -246,7 +256,7 @@ func (s *Server) handleProgramRegister(w http.ResponseWriter, r *http.Request, s
 		return
 	}
 	if err := sess.tenant.eng.RegisterProgram(req.Name, req.Source); err != nil {
-		if strings.Contains(err.Error(), "already registered") {
+		if errors.Is(err, engine.ErrProgramRegistered) {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
@@ -281,9 +291,9 @@ func (s *Server) handleCubePut(w http.ResponseWriter, r *http.Request, sess *ses
 	if err := sess.tenant.eng.LoadCSV(name, r.Body, asOf); err != nil {
 		status := http.StatusUnprocessableEntity
 		switch {
-		case strings.Contains(err.Error(), "not declared"):
+		case errors.Is(err, engine.ErrCubeNotDeclared):
 			status = http.StatusNotFound
-		case strings.Contains(err.Error(), "older than the latest"):
+		case errors.Is(err, store.ErrStaleVersion):
 			status = http.StatusConflict
 		}
 		writeError(w, status, "%v", err)
@@ -367,6 +377,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, sess *session
 
 	eng := sess.tenant.eng
 	if req.Async {
+		// Pin the session for the run's lifetime: an async run that
+		// outlives its submitting request must not let the idle reaper
+		// tear the session (and with it the tenant engine) down while the
+		// run executes. The pin also restarts the idle clock when the run
+		// finishes, giving the client time to poll the result.
+		if !sess.beginWork(time.Now()) {
+			writeError(w, http.StatusUnauthorized, "unknown or expired session")
+			return
+		}
 		ctx, cancel := context.WithCancel(context.Background())
 		entry := s.runs.start(sess.tenant.name, sess.id, true, time.Now(), cancel)
 		go func() {
@@ -374,6 +393,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, sess *session
 			release()
 			s.runs.finish(entry, rep, err, time.Now())
 			cancel()
+			sess.endWork(time.Now())
 		}()
 		writeJSON(w, http.StatusAccepted, map[string]string{"run": entry.id})
 		return

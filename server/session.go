@@ -19,26 +19,46 @@ type session struct {
 
 	mu       sync.Mutex
 	lastUsed time.Time
+	inflight int // requests and async runs pinning the session live
 	closed   bool
 }
 
-// touch bumps the idle clock; it reports false when the session is
-// already closed (a racing reaper won).
-func (s *session) touch(now time.Time) bool {
+// beginWork bumps the idle clock and pins the session against the idle
+// reaper for the duration of a request or async run — a session is only
+// idle when nothing is executing on its behalf, not merely when its last
+// request started long ago. Reports false when the session is already
+// closed (a racing reaper or explicit close won). Pair with endWork.
+func (s *session) beginWork(now time.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
-	s.lastUsed = now
+	s.inflight++
+	if now.After(s.lastUsed) {
+		s.lastUsed = now
+	}
 	return true
 }
 
-// idleSince returns the last-use instant, or zero time when closed.
+// endWork releases one pin and restarts the idle clock, so the idle
+// timeout counts from completion of the work, not from its start.
+func (s *session) endWork(now time.Time) {
+	s.mu.Lock()
+	s.inflight--
+	if now.After(s.lastUsed) {
+		s.lastUsed = now
+	}
+	s.mu.Unlock()
+}
+
+// idleSince returns the last-use instant and whether the session is
+// reapable at all: closed sessions and sessions with in-flight work are
+// never idle.
 func (s *session) idleSince() (time.Time, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.lastUsed, !s.closed
+	return s.lastUsed, !s.closed && s.inflight == 0
 }
 
 // markClosed flips the session closed exactly once.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"regexp"
@@ -62,6 +63,10 @@ func (rc *runClock) end() {
 	rc.mu.Unlock()
 }
 
+// errServerClosed rejects tenant opens once shutdown has begun. The
+// handler maps it to 503 + Retry-After.
+var errServerClosed = errors.New("server shutting down")
+
 // tenantSet opens tenants on first use and closes them when the last
 // session referencing them goes away.
 type tenantSet struct {
@@ -69,34 +74,64 @@ type tenantSet struct {
 
 	mu   sync.Mutex
 	live map[string]*tenant
+	// closing tracks tenants whose engines are still draining after the
+	// last reference went away: the channel closes when the drain (WAL
+	// flush, snapshot write, store close) completes. A durable tenant's
+	// directory must never be reopened while its old store is still
+	// writing, so acquire blocks on this channel before reopening.
+	closing map[string]chan struct{}
+	// closed is set by shutdownAll: no tenant may open after shutdown
+	// begins, however the handler is being served.
+	closed bool
 }
 
 func newTenantSet(cfg *Config) *tenantSet {
-	return &tenantSet{cfg: cfg, live: make(map[string]*tenant)}
+	return &tenantSet{
+		cfg:     cfg,
+		live:    make(map[string]*tenant),
+		closing: make(map[string]chan struct{}),
+	}
 }
 
 // acquire returns the live tenant with the name, opening it if needed,
 // and takes a reference. Opening a durable tenant replays its WAL, so a
 // tenant resurrected after an idle period comes back with every cube
-// version it ever committed.
+// version it ever committed. When a prior instance of the tenant is
+// still draining (the idle reaper expired its last session just as the
+// client reconnects), acquire waits for that drain to finish before
+// reopening — the two store instances must never touch the directory
+// concurrently.
 func (ts *tenantSet) acquire(name string) (*tenant, error) {
 	if !tenantNameRE.MatchString(name) {
 		return nil, fmt.Errorf("invalid tenant name %q", name)
 	}
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	if t, ok := ts.live[name]; ok {
-		t.refs++
+	for {
+		ts.mu.Lock()
+		if ts.closed {
+			ts.mu.Unlock()
+			return nil, errServerClosed
+		}
+		if t, ok := ts.live[name]; ok {
+			t.refs++
+			ts.mu.Unlock()
+			return t, nil
+		}
+		if done, ok := ts.closing[name]; ok {
+			ts.mu.Unlock()
+			<-done
+			continue
+		}
+		t, err := ts.open(name)
+		if err != nil {
+			ts.mu.Unlock()
+			return nil, err
+		}
+		t.refs = 1
+		ts.live[name] = t
+		ts.cfg.Metrics.Gauge(MetricTenantsActive).Set(int64(len(ts.live)))
+		ts.mu.Unlock()
 		return t, nil
 	}
-	t, err := ts.open(name)
-	if err != nil {
-		return nil, err
-	}
-	t.refs = 1
-	ts.live[name] = t
-	ts.cfg.Metrics.Gauge(MetricTenantsActive).Set(int64(len(ts.live)))
-	return t, nil
 }
 
 // open builds the tenant's isolated engine stack; ts.mu held.
@@ -131,7 +166,9 @@ const tenantCompileCacheCap = 64
 // release drops one reference. When the last session lets go, the
 // tenant's engine shuts down gracefully — admission stops, in-flight
 // runs drain, and the durable store flushes and closes — bounded by
-// closeTimeout.
+// closeTimeout. The tenant stays visible in the closing map for the
+// whole drain, so a concurrent acquire of the same name waits instead
+// of reopening the directory under the still-writing store.
 func (ts *tenantSet) release(t *tenant, closeTimeout time.Duration) error {
 	ts.mu.Lock()
 	t.refs--
@@ -139,13 +176,27 @@ func (ts *tenantSet) release(t *tenant, closeTimeout time.Duration) error {
 		ts.mu.Unlock()
 		return nil
 	}
+	if ts.live[t.name] != t {
+		// shutdownAll (or an already-signaled drain) owns this tenant's
+		// engine now; shutting it down twice is at best redundant.
+		ts.mu.Unlock()
+		return nil
+	}
 	delete(ts.live, t.name)
+	done := make(chan struct{})
+	ts.closing[t.name] = done
 	ts.cfg.Metrics.Gauge(MetricTenantsActive).Set(int64(len(ts.live)))
 	ts.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
-	defer cancel()
-	return t.eng.Shutdown(ctx)
+	err := t.eng.Shutdown(ctx)
+	cancel()
+
+	ts.mu.Lock()
+	delete(ts.closing, t.name)
+	ts.mu.Unlock()
+	close(done)
+	return err
 }
 
 // count returns the number of live tenants.
@@ -157,14 +208,25 @@ func (ts *tenantSet) count() int {
 
 // shutdownAll gracefully shuts down every live tenant, draining their
 // engines and closing their stores. Sessions referencing them are
-// already closed (or abandoned) by the time the server calls this.
+// already closed (or abandoned) by the time the server calls this. It
+// first flips the set closed — from here on acquire refuses with
+// errServerClosed, so no tenant can open after shutdown begins even
+// when the handler is embedded behind an outer server that
+// Server.Shutdown cannot quiesce — and it also waits out drains started
+// by concurrent releases, so every store is flushed and closed when it
+// returns.
 func (ts *tenantSet) shutdownAll(ctx context.Context) error {
 	ts.mu.Lock()
+	ts.closed = true
 	all := make([]*tenant, 0, len(ts.live))
 	for _, t := range ts.live {
 		all = append(all, t)
 	}
 	ts.live = make(map[string]*tenant)
+	draining := make([]chan struct{}, 0, len(ts.closing))
+	for _, done := range ts.closing {
+		draining = append(draining, done)
+	}
 	ts.cfg.Metrics.Gauge(MetricTenantsActive).Set(0)
 	ts.mu.Unlock()
 
@@ -172,6 +234,16 @@ func (ts *tenantSet) shutdownAll(ctx context.Context) error {
 	for _, t := range all {
 		if err := t.eng.Shutdown(ctx); err != nil && first == nil {
 			first = err
+		}
+	}
+	for _, done := range draining {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			if first == nil {
+				first = ctx.Err()
+			}
+			return first
 		}
 	}
 	return first
