@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	exlbench [-run all|e1|e2|...|e13] [-quick] [-workers N] [-iters N]
-//	         [-store dir] [-max-concurrent N] [-mem-budget bytes]
+//	exlbench [-run all|e1|e2|...|e13|sqlbench] [-quick] [-workers N]
+//	         [-iters N] [-store dir] [-max-concurrent N] [-mem-budget bytes]
+//	         [-bench-out file]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,9 +44,10 @@ import (
 )
 
 var (
-	quick   bool
-	workers int
-	iters   int
+	quick    bool
+	workers  int
+	iters    int
+	benchOut string
 	// shared holds the store (-store, used by e12) and governor
 	// (-max-concurrent/-mem-budget, used by e13) flags every EXLEngine
 	// tool exposes through internal/cli.
@@ -56,6 +59,7 @@ func main() {
 	flag.BoolVar(&quick, "quick", false, "smaller sweeps for fast runs")
 	flag.IntVar(&workers, "workers", 8, "e11: max concurrent run loops (sweep is 1..workers, doubling)")
 	flag.IntVar(&iters, "iters", 4, "e11: runs per worker")
+	flag.StringVar(&benchOut, "bench-out", "BENCH_sql.json", "sqlbench: output file for the JSON record")
 	shared.RegisterStore(flag.CommandLine)
 	shared.RegisterGovernor(flag.CommandLine, 4, 256<<20)
 	flag.Parse()
@@ -78,6 +82,7 @@ func main() {
 		{"e11", "E11: concurrent re-runs over a shared store (zero-copy reads + compile cache)", e11},
 		{"e12", "E12: durable store — WAL commit throughput, group commit, recovery time", e12},
 		{"e13", "E13: overload — admission control, shedding and breakers at 2x capacity", e13},
+		{"sqlbench", "E14: SQL executor — vectorized batches vs legacy tree-walker (writes BENCH_sql.json)", e14},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -709,6 +714,117 @@ func e13() {
 	}
 	fmt.Printf("%-26s %8.2f ms (in-flight drained, store closed)\n",
 		"graceful shutdown", float64(time.Since(drainStart).Microseconds())/1000)
+}
+
+// e14 (sqlbench) compares the vectorized SQL executor against the
+// legacy tuple-at-a-time tree-walker on the e5/e11-class workload: the
+// full GDP pipeline (daily panels joined with quarterly deflators,
+// aggregated ~90:1 to quarters) translated to SQL and executed on the
+// embedded engine. Translation is offline (e7) and is hoisted out of
+// the timed region; loading elementary cubes and extracting derived
+// ones is identical under both executors and is timed separately so
+// the executor ratio is not diluted by shared materialization. The
+// derived cubes from both executors are compared for equality before
+// any number is reported. Results go to stdout and -bench-out
+// (BENCH_sql.json).
+func e14() {
+	sizes := []int{2000, 10000}
+	if quick {
+		sizes = []int{200, 1000}
+	}
+	m := compileGDP()
+	script, err := sqlgen.Translate(m)
+	if err != nil {
+		panic(err)
+	}
+
+	type entry struct {
+		Workload   string  `json:"workload"`
+		Days       int     `json:"days"`
+		Rows       int     `json:"rows"`
+		LegacyMS   float64 `json:"legacy_ms"`
+		VectorMS   float64 `json:"vector_ms"`
+		Speedup    float64 `json:"speedup"`
+		PipelineMS float64 `json:"pipeline_ms"`
+	}
+	var entries []entry
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	fmt.Printf("%-10s %-10s %-12s %-12s %-8s\n", "PDR rows", "days", "legacy ms", "vector ms", "speedup")
+	for _, days := range sizes {
+		const regions = 20
+		data := workload.GDPSource(workload.GDPConfig{Days: days, Regions: regions})
+
+		// run executes the translated script on a fresh DB in the given
+		// mode three times and reports the best execution-only duration,
+		// the best whole-pipeline duration (load + execute + extract),
+		// and the derived cubes of the last run.
+		run := func(mode sqlengine.ExecMode) (exec, pipeline time.Duration, out map[string]*model.Cube) {
+			for i := 0; i < 3; i++ {
+				pipeStart := time.Now()
+				db := sqlengine.NewDB()
+				db.SetExecMode(mode)
+				for _, name := range m.Elementary {
+					if err := db.LoadCube(data[name]); err != nil {
+						panic(err)
+					}
+				}
+				execStart := time.Now()
+				if err := sqlgen.Execute(script, db); err != nil {
+					panic(err)
+				}
+				d := time.Since(execStart)
+				out = make(map[string]*model.Cube, len(m.Derived))
+				for _, rel := range m.Derived {
+					c, err := db.ExtractCube(m.Schemas[rel])
+					if err != nil {
+						panic(err)
+					}
+					out[rel] = c
+				}
+				p := time.Since(pipeStart)
+				if exec == 0 || d < exec {
+					exec = d
+				}
+				if pipeline == 0 || p < pipeline {
+					pipeline = p
+				}
+			}
+			return exec, pipeline, out
+		}
+
+		legacy, _, refOut := run(sqlengine.ExecLegacy)
+		vector, pipe, vecOut := run(sqlengine.ExecVector)
+		for _, rel := range m.Derived {
+			if !vecOut[rel].Equal(refOut[rel], 1e-6) {
+				panic(fmt.Sprintf("sqlbench: %s differs between executors at days=%d", rel, days))
+			}
+		}
+		speedup := float64(legacy) / float64(vector)
+		fmt.Printf("%-10d %-10d %-12.2f %-12.2f %-8.2f\n",
+			days*regions, days, ms(legacy), ms(vector), speedup)
+		entries = append(entries, entry{
+			Workload: "gdp-pipeline", Days: days, Rows: days * regions,
+			LegacyMS: ms(legacy), VectorMS: ms(vector), Speedup: speedup,
+			PipelineMS: ms(pipe),
+		})
+	}
+	fmt.Println("derived cubes identical under both executors (tolerance 1e-6)")
+
+	record := struct {
+		GeneratedBy string  `json:"generated_by"`
+		Quick       bool    `json:"quick"`
+		Entries     []entry `json:"entries"`
+	}{GeneratedBy: "exlbench -run sqlbench", Quick: quick, Entries: entries}
+	buf, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(benchOut, buf, 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", benchOut)
 }
 
 func e10() {

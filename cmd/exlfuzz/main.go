@@ -8,6 +8,7 @@
 // Usage:
 //
 //	exlfuzz [-seed 1] [-n 200] [-stmts 6] [-budget 0] [-shrink] [-tol 1e-6]
+//	        [-legacy-sql]
 //
 // Exit status: 0 when every case agrees, 1 on any divergence, 2 on an
 // internal failure (a generated case that does not compile, or a chase
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"exlengine/internal/difftest"
+	"exlengine/internal/sqlengine"
 )
 
 func main() {
@@ -31,8 +33,13 @@ func main() {
 		budget = flag.Duration("budget", 0, "wall-clock budget; 0 means unlimited")
 		shrink = flag.Bool("shrink", true, "minimize failing cases before reporting")
 		tol    = flag.Float64("tol", difftest.DefaultTol, "relative measure comparison tolerance")
+		legacy = flag.Bool("legacy-sql", false, "run the sqlengine leg on the legacy tree-walking executor instead of the vectorized one")
 	)
 	flag.Parse()
+
+	if *legacy {
+		sqlengine.SetDefaultExecMode(sqlengine.ExecLegacy)
+	}
 
 	start := time.Now()
 	deadline := time.Time{}

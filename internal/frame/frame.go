@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"exlengine/internal/colbatch"
 	"exlengine/internal/model"
 	"exlengine/internal/ops"
 )
@@ -52,25 +53,22 @@ func (f *Frame) Clone() *Frame {
 }
 
 // FromCube converts a cube into a frame whose columns are the dimension
-// names followed by the measure name.
+// names followed by the measure name. The conversion goes through the
+// shared columnar batch representation (colbatch), the same layout the
+// vectorized SQL executor reads, so cube↔frame and cube↔table transfers
+// are the one column-major code path.
 func FromCube(c *model.Cube) *Frame {
 	sch := c.Schema()
 	cols := append([]string(nil), sch.DimNames()...)
 	cols = append(cols, sch.Measure)
-	f := &Frame{Cols: cols}
-	for _, tu := range c.Tuples() {
-		row := make([]model.Value, 0, len(cols))
-		row = append(row, tu.Dims...)
-		row = append(row, model.Num(tu.Measure))
-		f.Rows = append(f.Rows, row)
-	}
-	return f
+	return &Frame{Cols: cols, Rows: colbatch.FromCube(c).Rows()}
 }
 
 // ToCube converts a frame back into a cube under the given schema. The
-// frame's columns must be the schema's dimensions followed by the measure
-// (by name). Rows with invalid (NA) values are dropped, matching the
-// partial-function semantics of cubes.
+// frame must contain the schema's dimension and measure columns (by
+// name, any order). Rows with invalid (NA) values are dropped, matching
+// the partial-function semantics of cubes. Column reordering is a
+// zero-copy batch projection.
 func (f *Frame) ToCube(sch model.Schema) (*model.Cube, error) {
 	idx := make([]int, 0, len(sch.Dims)+1)
 	for _, d := range sch.Dims {
@@ -84,27 +82,11 @@ func (f *Frame) ToCube(sch model.Schema) (*model.Cube, error) {
 	if mj < 0 {
 		return nil, fmt.Errorf("frame: missing measure column %s", sch.Measure)
 	}
-	c := model.NewCube(sch)
-	dims := make([]model.Value, len(sch.Dims))
-	for _, row := range f.Rows {
-		na := false
-		for i, j := range idx {
-			if !row[j].IsValid() {
-				na = true
-				break
-			}
-			dims[i] = row[j]
-		}
-		if na || !row[mj].IsValid() {
-			continue
-		}
-		mv, ok := row[mj].AsNumber()
-		if !ok {
-			return nil, fmt.Errorf("frame: non-numeric measure %v", row[mj])
-		}
-		if err := c.Put(dims, mv); err != nil {
-			return nil, err
-		}
+	idx = append(idx, mj)
+	b := colbatch.FromRows(f.Rows, len(f.Cols)).Project(idx)
+	c, err := colbatch.ToCube(b, sch)
+	if err != nil {
+		return nil, fmt.Errorf("frame: %w", err)
 	}
 	return c, nil
 }

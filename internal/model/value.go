@@ -1,7 +1,9 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -211,23 +213,32 @@ func (v Value) Compare(o Value) int {
 }
 
 // appendKey appends a canonical, injective encoding of the value to b. It
-// is used to build hash keys for dimension tuples.
+// is used to build hash keys for dimension tuples. Numeric payloads are
+// encoded as raw fixed-width bits rather than formatted text — keys are
+// opaque (only ever compared for equality), and the binary form keeps
+// strconv off the hash-join and grouping hot paths.
 func (v Value) appendKey(b []byte) []byte {
 	switch v.kind {
-	case KindNumber:
+	case KindNumber, KindInt:
+		// One tag for both: 3 and 3.0 must collide (Equal compares them
+		// numerically). Ints go through the same float64 conversion that
+		// Equal uses, so int/float collisions match Equal exactly.
+		f := v.num
+		if v.kind == KindInt {
+			f = float64(v.i)
+		}
+		if f == 0 {
+			f = 0 // collapse -0.0 and +0.0, which Equal treats as equal
+		}
 		b = append(b, 'n')
-		b = strconv.AppendFloat(b, v.num, 'g', -1, 64)
-	case KindInt:
-		b = append(b, 'n') // same tag as number: 3 and 3.0 must collide
-		b = strconv.AppendFloat(b, float64(v.i), 'g', -1, 64)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
 	case KindString:
 		b = append(b, 's')
-		b = strconv.AppendInt(b, int64(len(v.str)), 10)
-		b = append(b, ':')
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(v.str)))
 		b = append(b, v.str...)
 	case KindPeriod:
-		b = append(b, 'p', byte('0'+v.per.Freq))
-		b = strconv.AppendInt(b, v.per.Ord, 10)
+		b = append(b, 'p', byte(v.per.Freq))
+		b = binary.LittleEndian.AppendUint64(b, uint64(v.per.Ord))
 	case KindBool:
 		b = append(b, 'b', byte('0'+v.i))
 	default:
@@ -239,12 +250,71 @@ func (v Value) appendKey(b []byte) []byte {
 // EncodeKey builds a canonical string key for a dimension tuple. Two tuples
 // encode to the same key exactly when all their values are Equal.
 func EncodeKey(dims []Value) string {
-	b := make([]byte, 0, 16*len(dims))
+	return string(AppendKey(make([]byte, 0, 16*len(dims)), dims))
+}
+
+// AppendKey appends the EncodeKey encoding of the tuple to b and returns
+// the extended buffer. Hash-heavy paths (joins, grouping, dedup) use it
+// with a reused buffer and map[string(...)] lookups to avoid allocating a
+// string per probed row.
+func AppendKey(b []byte, dims []Value) []byte {
 	for _, v := range dims {
 		b = v.appendKey(b)
 		b = append(b, '|')
 	}
-	return string(b)
+	return b
+}
+
+// AppendOrderedKey appends an order-preserving binary encoding of the
+// value to b: for any two valid values x and y, bytes.Compare of their
+// encodings equals x.Compare(y) (up to ties — values that Compare equal,
+// such as 3 and 3.0, encode identically). Invalid values encode as a
+// single 0xFF byte and sort after every valid value — the engines'
+// NULLS LAST rule, not Compare's kind order. Sort-heavy paths use this
+// to replace repeated Compare calls with one key build and memcmp.
+func AppendOrderedKey(b []byte, v Value) []byte {
+	switch v.kind {
+	case KindNumber, KindInt:
+		// One tag for both numeric kinds: Compare orders them jointly by
+		// numeric value (ints via the same float64 conversion).
+		f := v.num
+		if v.kind == KindInt {
+			f = float64(v.i)
+		}
+		if f == 0 {
+			f = 0 // collapse -0.0 and +0.0 into one key
+		}
+		u := math.Float64bits(f)
+		if u&(1<<63) != 0 {
+			u = ^u
+		} else {
+			u |= 1 << 63
+		}
+		b = append(b, 0x01)
+		b = binary.BigEndian.AppendUint64(b, u)
+	case KindString:
+		// 0x00 bytes escape to (0x00,0x01) and the terminator is
+		// (0x00,0x00), so a string that is a prefix of another sorts first
+		// and embedded NULs cannot collide with the terminator.
+		b = append(b, 0x02)
+		s := v.str
+		for i := 0; i < len(s); i++ {
+			if s[i] == 0x00 {
+				b = append(b, 0x00, 0x01)
+			} else {
+				b = append(b, s[i])
+			}
+		}
+		b = append(b, 0x00, 0x00)
+	case KindPeriod:
+		b = append(b, 0x03, byte(v.per.Freq))
+		b = binary.BigEndian.AppendUint64(b, uint64(v.per.Ord)^(1<<63))
+	case KindBool:
+		b = append(b, 0x04, byte(v.i))
+	default:
+		b = append(b, 0xFF)
+	}
+	return b
 }
 
 // ParseValue parses a textual representation into a Value of the given

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -77,6 +79,47 @@ func TestEncodeKeyQuick(t *testing.T) {
 		ka := EncodeKey([]Value{Str(a), Int(x)})
 		kb := EncodeKey([]Value{Str(b), Int(y)})
 		return (ka == kb) == (a == b && x == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendOrderedKeyMatchesCompare(t *testing.T) {
+	vals := []Value{
+		{}, // invalid (NULL): must sort after everything
+		Num(math.Inf(-1)), Num(-3.5), Num(-0.0), Num(0), Int(0), Num(2.5),
+		Int(3), Num(3), Num(1e18), Num(math.Inf(1)),
+		Str(""), Str("a"), Str("ab"), Str("a\x00b"), Str("b"),
+		Per(NewDaily(2001, time.January, 1)), Per(NewMonthly(2001, time.March)),
+		Per(NewQuarterly(2001, 2)), Per(NewAnnual(1999)), Per(NewAnnual(2001)),
+		Bool(false), Bool(true),
+	}
+	key := func(v Value) string { return string(AppendOrderedKey(nil, v)) }
+	cmpRef := func(a, b Value) int {
+		switch {
+		case !a.IsValid() && !b.IsValid():
+			return 0
+		case !a.IsValid():
+			return 1
+		case !b.IsValid():
+			return -1
+		default:
+			return a.Compare(b)
+		}
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			got := strings.Compare(key(a), key(b))
+			want := cmpRef(a, b)
+			if got != want {
+				t.Errorf("ordered key Compare(%v, %v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	f := func(x, y float64, s, u string) bool {
+		return strings.Compare(key(Num(x)), key(Num(y))) == Num(x).Compare(Num(y)) &&
+			strings.Compare(key(Str(s)), key(Str(u))) == Str(s).Compare(Str(u))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -219,4 +219,13 @@ const (
 	// MetricBreakerSkips counts fragment targets skipped by the dispatcher
 	// because their breaker was open, per target.
 	MetricBreakerSkips = "dispatch_breaker_skips_total"
+	// MetricSQLRuleApplies counts analyzer rule applications that changed
+	// the plan, labelled by rule.
+	MetricSQLRuleApplies = "sql_analyzer_rule_applies_total"
+	// MetricSQLOpRows counts rows emitted by vectorized executor
+	// operators, labelled by operator kind.
+	MetricSQLOpRows = "sql_operator_rows_total"
+	// MetricSQLBatches counts columnar batches emitted by vectorized
+	// executor operators, labelled by operator kind.
+	MetricSQLBatches = "sql_operator_batches_total"
 )

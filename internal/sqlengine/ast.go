@@ -46,14 +46,15 @@ type deleteStmt struct {
 	where expr
 }
 
-// selectStmt is SELECT exprs FROM items [WHERE cond] [GROUP BY exprs]
-// [ORDER BY exprs].
+// selectStmt is SELECT [DISTINCT] exprs FROM items [WHERE cond]
+// [GROUP BY exprs] [ORDER BY exprs].
 type selectStmt struct {
-	exprs   []selectExpr
-	from    []fromItem
-	where   expr
-	groupBy []expr
-	orderBy []expr
+	distinct bool
+	exprs    []selectExpr
+	from     []fromItem
+	where    expr
+	groupBy  []expr
+	orderBy  []expr
 }
 
 // selectExpr is one output column, with an optional alias.
@@ -117,8 +118,17 @@ type callExpr struct {
 	star bool
 }
 
-func (*colRef) exprNode()    {}
-func (*lit) exprNode()       {}
-func (*binExpr) exprNode()   {}
-func (*unaryExpr) exprNode() {}
-func (*callExpr) exprNode()  {}
+// isNullExpr is x IS [NOT] NULL: the SQL definedness predicate. Unlike
+// every other operator it is never NULL itself — it maps unknown to a
+// known boolean, which is what lets queries observe undefined points.
+type isNullExpr struct {
+	x   expr
+	not bool
+}
+
+func (*colRef) exprNode()     {}
+func (*lit) exprNode()        {}
+func (*binExpr) exprNode()    {}
+func (*unaryExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*isNullExpr) exprNode() {}

@@ -1,0 +1,121 @@
+package sqlengine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"exlengine/internal/model"
+)
+
+// benchDB builds a monthly panel PDR (rows rows) and a quarterly rate
+// table RATE sized to join against it, bypassing the SQL INSERT path so
+// setup cost stays out of the measured loop.
+func benchDB(mode ExecMode, rows int) *DB {
+	db := NewDB()
+	db.SetExecMode(mode)
+	regions := []string{"north", "south", "east", "west"}
+	pdr := &Table{
+		Name: "pdr",
+		Cols: []Column{
+			{Name: "d", Type: ColType{Kind: KPeriod, Freq: model.Monthly}},
+			{Name: "r", Type: ColType{Kind: KVarchar}},
+			{Name: "v", Type: ColType{Kind: KDouble}},
+		},
+	}
+	for i := 0; i < rows; i++ {
+		y, m := 2000+i/(12*len(regions)), 1+(i/len(regions))%12
+		r := regions[i%len(regions)]
+		pdr.Rows = append(pdr.Rows, []model.Value{
+			model.Per(model.NewMonthly(y, time.Month(m))),
+			model.Str(r),
+			model.Num(float64(i%97) + 0.5),
+		})
+	}
+	db.tables["pdr"] = pdr
+
+	rate := &Table{
+		Name: "rate",
+		Cols: []Column{
+			{Name: "q", Type: ColType{Kind: KPeriod, Freq: model.Quarterly}},
+			{Name: "r", Type: ColType{Kind: KVarchar}},
+			{Name: "x", Type: ColType{Kind: KDouble}},
+		},
+	}
+	years := rows/(12*len(regions)) + 1
+	for y := 0; y < years; y++ {
+		for q := 1; q <= 4; q++ {
+			for _, r := range regions {
+				rate.Rows = append(rate.Rows, []model.Value{
+					model.Per(model.NewQuarterly(2000+y, q)),
+					model.Str(r),
+					model.Num(1 + float64(q)/10),
+				})
+			}
+		}
+	}
+	db.tables["rate"] = rate
+	return db
+}
+
+func benchQuery(b *testing.B, mode ExecMode, rows int, query string) {
+	b.Helper()
+	db := benchDB(mode, rows)
+	// Warm once: fills the columnar batch cache and catches errors.
+	if _, err := db.Query(query); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLJoin measures a two-table hash join with a dimension
+// function on the join key, legacy tree-walker vs vectorized executor.
+func BenchmarkSQLJoin(b *testing.B) {
+	const query = `SELECT p.r AS r, p.v AS v, t.x AS x FROM PDR p, RATE t WHERE quarter(p.d) = t.q AND p.r = t.r`
+	for _, rows := range []int{1000, 10000} {
+		for _, m := range []struct {
+			name string
+			mode ExecMode
+		}{{"legacy", ExecLegacy}, {"vector", ExecVector}} {
+			b.Run(fmt.Sprintf("%s/rows=%d", m.name, rows), func(b *testing.B) {
+				benchQuery(b, m.mode, rows, query)
+			})
+		}
+	}
+}
+
+// BenchmarkSQLGroupBy measures hash aggregation with a computed group
+// key and three aggregates, legacy vs vectorized.
+func BenchmarkSQLGroupBy(b *testing.B) {
+	const query = `SELECT quarter(d) AS q, r, sum(v) AS s, avg(v) AS a, count(*) AS n FROM PDR GROUP BY quarter(d), r`
+	for _, rows := range []int{1000, 10000} {
+		for _, m := range []struct {
+			name string
+			mode ExecMode
+		}{{"legacy", ExecLegacy}, {"vector", ExecVector}} {
+			b.Run(fmt.Sprintf("%s/rows=%d", m.name, rows), func(b *testing.B) {
+				benchQuery(b, m.mode, rows, query)
+			})
+		}
+	}
+}
+
+// BenchmarkSQLJoinAggregate is the e5-class shape: join then group, the
+// dominant pattern in generated mapping scripts (RGDP/GDP tgds).
+func BenchmarkSQLJoinAggregate(b *testing.B) {
+	const query = `SELECT p.r AS r, sum(p.v * t.x) AS s FROM PDR p, RATE t WHERE quarter(p.d) = t.q AND p.r = t.r GROUP BY p.r`
+	for _, m := range []struct {
+		name string
+		mode ExecMode
+	}{{"legacy", ExecLegacy}, {"vector", ExecVector}} {
+		b.Run(m.name, func(b *testing.B) {
+			benchQuery(b, m.mode, 10000, query)
+		})
+	}
+}

@@ -1,13 +1,40 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"exlengine/internal/colbatch"
 	"exlengine/internal/model"
 )
+
+// ExecMode selects which SELECT executor a DB uses.
+type ExecMode int32
+
+const (
+	// ExecVector is the analyzed, vectorized executor: statements lower
+	// to a logical plan, a rule-based analyzer rewrites it, and columnar
+	// operators evaluate it batch-at-a-time. The default.
+	ExecVector ExecMode = iota
+	// ExecLegacy is the original tuple-at-a-time tree-walking evaluator,
+	// kept as the differential reference for the vectorized executor.
+	ExecLegacy
+)
+
+// defaultExecMode is the mode new DBs start in. exlfuzz flips it to
+// ExecLegacy (process-wide) to run whole differential campaigns through
+// the old executor.
+var defaultExecMode atomic.Int32
+
+// SetDefaultExecMode sets the executor new DBs start with.
+func SetDefaultExecMode(m ExecMode) { defaultExecMode.Store(int32(m)) }
+
+// DefaultExecMode returns the executor new DBs start with.
+func DefaultExecMode() ExecMode { return ExecMode(defaultExecMode.Load()) }
 
 // TypeKind classifies SQL column types.
 type TypeKind uint8
@@ -71,10 +98,49 @@ type Column struct {
 }
 
 // Table is an in-memory relation: ordered columns and rows of values.
+// Rows is the public, row-major representation (tests and tabular
+// functions build it directly); the vectorized executor reads tables
+// through Batch, a lazily built columnar view.
 type Table struct {
 	Name string
 	Cols []Column
 	Rows [][]model.Value
+
+	batchMu   sync.Mutex
+	batch     *colbatch.Batch
+	batchRows int
+}
+
+// Batch returns a columnar view of the table, built on first use and
+// cached. Mutating statements call Invalidate; as a second line of
+// defense against direct Rows mutation the cache is also discarded when
+// the row count no longer matches.
+func (t *Table) Batch() *colbatch.Batch {
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	if t.batch == nil || t.batchRows != len(t.Rows) {
+		t.batch = colbatch.FromRows(t.Rows, len(t.Cols))
+		t.batchRows = len(t.Rows)
+	}
+	return t.batch
+}
+
+// primeBatch installs an externally built columnar view (LoadCube uses
+// it to share the cube-conversion columns with the executor, zero-copy).
+// The batch must match the table's current Rows.
+func (t *Table) primeBatch(b *colbatch.Batch) {
+	t.batchMu.Lock()
+	t.batch = b
+	t.batchRows = b.N
+	t.batchMu.Unlock()
+}
+
+// Invalidate discards the cached columnar view after a mutation.
+func (t *Table) Invalidate() {
+	t.batchMu.Lock()
+	t.batch = nil
+	t.batchRows = 0
+	t.batchMu.Unlock()
 }
 
 // ColIndex returns the position of the named column, or -1.
@@ -87,17 +153,10 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
-// SortRows orders the rows by all columns left to right, giving tests and
-// exports a deterministic order.
+// SortRows orders the rows by all columns left to right (NULLs last),
+// giving tests and exports a deterministic order.
 func (t *Table) SortRows() {
-	sort.Slice(t.Rows, func(i, j int) bool {
-		for k := range t.Cols {
-			if c := t.Rows[i][k].Compare(t.Rows[j][k]); c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
+	sortRowsBy(t.Rows, len(t.Cols), nil)
 }
 
 // String renders the table as a small fixed-width text grid (for CLI
@@ -132,23 +191,32 @@ type TabularFunc func(args []*Table, params []float64) (*Table, error)
 
 // DB is an in-memory SQL database.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	views  map[string]*selectStmt
-	tabfns map[string]TabularFunc
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	views    map[string]*selectStmt
+	tabfns   map[string]TabularFunc
+	execMode atomic.Int32
 }
 
 // NewDB returns an empty database with the standard tabular functions
-// (STL_T, STL_S, STL_I, MOVAVG, CUMSUM, LINTREND) registered.
+// (STL_T, STL_S, STL_I, MOVAVG, CUMSUM, LINTREND) registered, running
+// the process default executor (ExecVector unless overridden).
 func NewDB() *DB {
 	db := &DB{
 		tables: make(map[string]*Table),
 		views:  make(map[string]*selectStmt),
 		tabfns: make(map[string]TabularFunc),
 	}
+	db.execMode.Store(defaultExecMode.Load())
 	registerStandardTabularFuncs(db)
 	return db
 }
+
+// SetExecMode switches this DB between the vectorized and the legacy
+// executor. Safe to call between statements.
+func (db *DB) SetExecMode(m ExecMode) { db.execMode.Store(int32(m)) }
+
+func (db *DB) mode() ExecMode { return ExecMode(db.execMode.Load()) }
 
 // RegisterTabular registers (or replaces) a tabular function under the
 // given name (case-insensitive).
@@ -181,12 +249,18 @@ func (db *DB) TableNames() []string {
 // Exec parses and executes a script of semicolon-separated statements,
 // discarding SELECT results. It stops at the first error.
 func (db *DB) Exec(src string) error {
+	return db.ExecContext(context.Background(), src)
+}
+
+// ExecContext is Exec with a context: a tracer or metrics registry in
+// ctx instruments the analyzer rules and executor operators.
+func (db *DB) ExecContext(ctx context.Context, src string) error {
 	stmts, err := parseScript(src)
 	if err != nil {
 		return err
 	}
 	for _, s := range stmts {
-		if _, err := db.run(s); err != nil {
+		if _, err := db.run(ctx, s); err != nil {
 			return err
 		}
 	}
@@ -195,6 +269,11 @@ func (db *DB) Exec(src string) error {
 
 // Query parses and executes a single SELECT, returning the result table.
 func (db *DB) Query(src string) (*Table, error) {
+	return db.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with a context (see ExecContext).
+func (db *DB) QueryContext(ctx context.Context, src string) (*Table, error) {
 	stmts, err := parseScript(src)
 	if err != nil {
 		return nil, err
@@ -206,10 +285,10 @@ func (db *DB) Query(src string) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: Query expects a SELECT")
 	}
-	return db.evalSelect(sel)
+	return db.evalSelectCtx(ctx, sel)
 }
 
-func (db *DB) run(s stmt) (*Table, error) {
+func (db *DB) run(ctx context.Context, s stmt) (*Table, error) {
 	switch s := s.(type) {
 	case *createStmt:
 		db.mu.Lock()
@@ -257,11 +336,11 @@ func (db *DB) run(s stmt) (*Table, error) {
 	case *deleteStmt:
 		return nil, db.evalDelete(s)
 	case *insertValuesStmt:
-		return nil, db.evalInsertValues(s)
+		return nil, db.evalInsertValues(ctx, s)
 	case *insertSelectStmt:
-		return nil, db.evalInsertSelect(s)
+		return nil, db.evalInsertSelect(ctx, s)
 	case *selectStmt:
-		return db.evalSelect(s)
+		return db.evalSelectCtx(ctx, s)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", s)
 	}

@@ -1,8 +1,10 @@
 package sqlengine
 
 import (
+	"bytes"
+	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"exlengine/internal/model"
@@ -75,6 +77,8 @@ func exprAliases(e expr, sc *scope, out map[string]bool) {
 		for _, a := range e.args {
 			exprAliases(a, sc, out)
 		}
+	case *isNullExpr:
+		exprAliases(e.x, sc, out)
 	}
 }
 
@@ -88,54 +92,80 @@ func splitAnd(e expr) []expr {
 	return []expr{e}
 }
 
-// resolveRelation returns the named table, or evaluates the named view on
-// the fly (the paper's relational views for temporary cubes). expanding
-// guards against cyclic view definitions.
-func (db *DB) resolveRelation(name string, expanding map[string]bool) (*Table, error) {
-	if t, ok := db.Table(name); ok {
+// resolver materializes relations for one statement: base tables
+// directly, views by evaluating their definition through whichever
+// executor the engine is configured with (the paper's relational views
+// for temporary cubes). Expanded views are memoized for the lifetime of
+// the statement, so a view referenced N times — in particular diamond-
+// shaped view graphs, where each layer used to multiply the work —
+// evaluates exactly once. expanding guards against cyclic definitions.
+type resolver struct {
+	db        *DB
+	ctx       context.Context
+	expanding map[string]bool
+	memo      map[string]*Table
+}
+
+func (db *DB) newResolver(ctx context.Context) *resolver {
+	return &resolver{
+		db:        db,
+		ctx:       ctx,
+		expanding: make(map[string]bool),
+		memo:      make(map[string]*Table),
+	}
+}
+
+// relation returns the named table, or evaluates (and memoizes) the
+// named view.
+func (r *resolver) relation(name string) (*Table, error) {
+	if t, ok := r.db.Table(name); ok {
 		return t, nil
 	}
-	db.mu.RLock()
-	sel, ok := db.views[name]
-	db.mu.RUnlock()
+	if t, ok := r.memo[name]; ok {
+		return t, nil
+	}
+	r.db.mu.RLock()
+	sel, ok := r.db.views[name]
+	r.db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("sql: unknown table %s", name)
 	}
-	if expanding[name] {
+	if r.expanding[name] {
 		return nil, fmt.Errorf("sql: cyclic view definition involving %s", name)
 	}
-	expanding[name] = true
-	defer delete(expanding, name)
-	t, err := db.evalSelectExpanding(sel, expanding)
+	r.expanding[name] = true
+	t, err := r.db.evalSelectWith(r.ctx, sel, r)
+	delete(r.expanding, name)
 	if err != nil {
 		return nil, fmt.Errorf("sql: evaluating view %s: %w", name, err)
 	}
 	t.Name = name
+	r.memo[name] = t
 	return t, nil
 }
 
-// resolveFrom materializes the from-items (tables, views and tabular
-// functions).
-func (db *DB) resolveFrom(items []fromItem, expanding map[string]bool) (*scope, error) {
+// scopeFor materializes the from-items (tables, views and tabular
+// functions) into a scope.
+func (r *resolver) scopeFor(items []fromItem) (*scope, error) {
 	sc := newScope()
 	for _, fi := range items {
 		var t *Table
 		if fi.table != "" {
-			tt, err := db.resolveRelation(fi.table, expanding)
+			tt, err := r.relation(fi.table)
 			if err != nil {
 				return nil, err
 			}
 			t = tt
 		} else {
-			db.mu.RLock()
-			fn, ok := db.tabfns[fi.fn]
-			db.mu.RUnlock()
+			r.db.mu.RLock()
+			fn, ok := r.db.tabfns[fi.fn]
+			r.db.mu.RUnlock()
 			if !ok {
 				return nil, fmt.Errorf("sql: unknown tabular function %s", fi.fn)
 			}
 			var args []*Table
 			for _, an := range fi.args {
-				at, err := db.resolveRelation(an, expanding)
+				at, err := r.relation(an)
 				if err != nil {
 					return nil, fmt.Errorf("sql: argument of %s: %w", fi.fn, err)
 				}
@@ -150,6 +180,162 @@ func (db *DB) resolveFrom(items []fromItem, expanding map[string]bool) (*scope, 
 		sc.add(fi.alias, t)
 	}
 	return sc, nil
+}
+
+// selectPrep is the executor-independent front half of a SELECT: the
+// materialized scope, the star-expanded output expressions and the
+// inferred output schema. Both the legacy tree-walker and the vectorized
+// executor start from the same prep, which is what keeps their
+// name-resolution and typing rules identical.
+type selectPrep struct {
+	sc    *scope
+	exprs []selectExpr
+	names []string
+	types []ColType
+}
+
+func (db *DB) prepareSelect(s *selectStmt, r *resolver) (*selectPrep, error) {
+	if len(s.from) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
+	}
+	sc, err := r.scopeFor(s.from)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.validateSelect(s, sc); err != nil {
+		return nil, err
+	}
+
+	// Expand SELECT *.
+	var exprs []selectExpr
+	for _, se := range s.exprs {
+		if !se.star {
+			exprs = append(exprs, se)
+			continue
+		}
+		for i, t := range sc.tables {
+			for _, c := range t.Cols {
+				exprs = append(exprs, selectExpr{e: &colRef{qual: sc.aliases[i], name: c.Name}, alias: c.Name})
+			}
+		}
+	}
+
+	p := &selectPrep{sc: sc, exprs: exprs}
+	for i, se := range exprs {
+		name := se.alias
+		if name == "" {
+			if cr, ok := se.e.(*colRef); ok {
+				name = cr.name
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		p.names = append(p.names, name)
+		p.types = append(p.types, db.inferType(se.e, sc))
+	}
+	return p, nil
+}
+
+func (db *DB) evalSelect(s *selectStmt) (*Table, error) {
+	return db.evalSelectCtx(context.Background(), s)
+}
+
+func (db *DB) evalSelectCtx(ctx context.Context, s *selectStmt) (*Table, error) {
+	return db.evalSelectWith(ctx, s, db.newResolver(ctx))
+}
+
+// evalSelectWith dispatches a SELECT to the configured executor. Views
+// referenced by the statement run under the same executor and share the
+// statement's resolver (and so its view memo).
+func (db *DB) evalSelectWith(ctx context.Context, s *selectStmt, r *resolver) (*Table, error) {
+	if db.mode() == ExecLegacy {
+		return db.evalSelectLegacy(ctx, s, r)
+	}
+	return db.evalSelectVec(ctx, s, r)
+}
+
+// evalSelectLegacy is the original tuple-at-a-time tree-walking
+// executor. It is kept, behind ExecLegacy, as the differential reference
+// for the vectorized executor: exlfuzz runs the same programs through
+// both and any disagreement is a bug in one of them.
+func (db *DB) evalSelectLegacy(_ context.Context, s *selectStmt, r *resolver) (*Table, error) {
+	p, err := db.prepareSelect(s, r)
+	if err != nil {
+		return nil, err
+	}
+	sc, exprs := p.sc, p.exprs
+	rows, err := db.joinFrom(s, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Table{}
+	for i := range exprs {
+		out.Cols = append(out.Cols, Column{Name: p.names[i], Type: p.types[i]})
+	}
+
+	grouping := len(s.groupBy) > 0
+	for _, se := range exprs {
+		if hasAggregate(se.e) {
+			grouping = true
+		}
+	}
+
+	if grouping {
+		if err := db.evalGrouped(s, sc, rows, exprs, out); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range rows {
+			vals := make([]model.Value, len(exprs))
+			null := false
+			for i, se := range exprs {
+				v, err := db.evalExpr(se.e, sc, row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsValid() {
+					null = true
+					break
+				}
+				vals[i] = v
+			}
+			if null {
+				continue
+			}
+			out.Rows = append(out.Rows, vals)
+		}
+	}
+
+	if s.distinct {
+		out.Rows = distinctRows(out.Rows)
+	}
+
+	if len(s.orderBy) > 0 {
+		idx, err := orderByIndexes(s, p.names)
+		if err != nil {
+			return nil, err
+		}
+		sortRowsBy(out.Rows, len(out.Cols), idx)
+	} else {
+		out.SortRows()
+	}
+	return out, nil
+}
+
+// distinctRows removes duplicate rows, keeping first occurrences.
+func distinctRows(rows [][]model.Value) [][]model.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := model.EncodeKey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
 }
 
 // joinFrom joins the from-items left to right. Equality conjuncts whose
@@ -298,96 +484,6 @@ func onlyAlias(a map[string]bool, alias string) bool {
 	return len(a) == 1 && a[alias]
 }
 
-func (db *DB) evalSelect(s *selectStmt) (*Table, error) {
-	return db.evalSelectExpanding(s, make(map[string]bool))
-}
-
-func (db *DB) evalSelectExpanding(s *selectStmt, expanding map[string]bool) (*Table, error) {
-	if len(s.from) == 0 {
-		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
-	}
-	sc, err := db.resolveFrom(s.from, expanding)
-	if err != nil {
-		return nil, err
-	}
-	if err := db.validateSelect(s, sc); err != nil {
-		return nil, err
-	}
-	rows, err := db.joinFrom(s, sc)
-	if err != nil {
-		return nil, err
-	}
-
-	// Expand SELECT *.
-	var exprs []selectExpr
-	for _, se := range s.exprs {
-		if !se.star {
-			exprs = append(exprs, se)
-			continue
-		}
-		for i, t := range sc.tables {
-			for _, c := range t.Cols {
-				exprs = append(exprs, selectExpr{e: &colRef{qual: sc.aliases[i], name: c.Name}, alias: c.Name})
-			}
-		}
-	}
-
-	out := &Table{}
-	for i, se := range exprs {
-		name := se.alias
-		if name == "" {
-			if cr, ok := se.e.(*colRef); ok {
-				name = cr.name
-			} else {
-				name = fmt.Sprintf("col%d", i+1)
-			}
-		}
-		out.Cols = append(out.Cols, Column{Name: name, Type: db.inferType(se.e, sc)})
-	}
-
-	grouping := len(s.groupBy) > 0
-	for _, se := range exprs {
-		if hasAggregate(se.e) {
-			grouping = true
-		}
-	}
-
-	if grouping {
-		if err := db.evalGrouped(s, sc, rows, exprs, out); err != nil {
-			return nil, err
-		}
-	} else {
-		for _, row := range rows {
-			vals := make([]model.Value, len(exprs))
-			null := false
-			for i, se := range exprs {
-				v, err := db.evalExpr(se.e, sc, row)
-				if err != nil {
-					return nil, err
-				}
-				if !v.IsValid() {
-					null = true
-					break
-				}
-				vals[i] = v
-			}
-			if null {
-				continue
-			}
-			out.Rows = append(out.Rows, vals)
-		}
-	}
-
-	if len(s.orderBy) > 0 {
-		if err := db.orderRows(s, sc, out, exprs); err != nil {
-			return nil, err
-		}
-	} else {
-		out.SortRows()
-	}
-	return out, nil
-}
-
 func (db *DB) evalGrouped(s *selectStmt, sc *scope, rows [][]model.Value, exprs []selectExpr, out *Table) error {
 	type group struct {
 		rep  []model.Value // representative row for group-expr evaluation
@@ -421,8 +517,14 @@ func (db *DB) evalGrouped(s *selectStmt, sc *scope, rows [][]model.Value, exprs 
 		}
 		g.rows = append(g.rows, row)
 	}
-	// A global aggregate over zero rows yields no row, matching the cube
-	// semantics (the tuple exists only if the bag is non-empty).
+	// A global aggregate (no GROUP BY) always has exactly one group, even
+	// over zero input rows: SELECT count(*) FROM empty is (0). The empty
+	// group's representative row is all-NULL, so sum/avg/min/max come out
+	// NULL there and the row is dropped — only COUNT survives with 0.
+	if len(s.groupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{rep: make([]model.Value, sc.width)}
+		order = append(order, "")
+	}
 	for _, key := range order {
 		g := groups[key]
 		vals := make([]model.Value, len(exprs))
@@ -444,6 +546,17 @@ func (db *DB) evalGrouped(s *selectStmt, sc *scope, rows [][]model.Value, exprs 
 		out.Rows = append(out.Rows, vals)
 	}
 	return nil
+}
+
+// aggEmptyResult is the value of an aggregate over an empty bag (no rows,
+// or every argument NULL): COUNT is 0 — counting nothing is a defined
+// answer — while SUM/AVG/MIN/MAX have no value and yield NULL, which then
+// drops the row under the cube partial-function contract.
+func aggEmptyResult(name string) model.Value {
+	if name == "count" {
+		return model.Num(0)
+	}
+	return model.Value{}
 }
 
 // evalAggExpr evaluates a select expression in a grouped context:
@@ -482,7 +595,7 @@ func (db *DB) evalAggExpr(e expr, sc *scope, rep []model.Value, rows [][]model.V
 				n++
 			}
 			if n == 0 {
-				return model.Value{}, nil
+				return aggEmptyResult(e.name), nil
 			}
 			return model.Num(agg.Result()), nil
 		}
@@ -523,6 +636,12 @@ func (db *DB) evalAggExpr(e expr, sc *scope, rep []model.Value, rows [][]model.V
 			return x, err
 		}
 		return applyUnary(e.op, x)
+	case *isNullExpr:
+		x, err := db.evalAggExpr(e.x, sc, rep, rows)
+		if err != nil {
+			return x, err
+		}
+		return applyIsNull(x, e.not), nil
 	default:
 		return db.evalExpr(e, sc, rep)
 	}
@@ -576,6 +695,8 @@ func validateExpr(e expr, sc *scope) error {
 				return err
 			}
 		}
+	case *isNullExpr:
+		return validateExpr(e.x, sc)
 	}
 	return nil
 }
@@ -595,33 +716,72 @@ func hasAggregate(e expr) bool {
 		return hasAggregate(e.l) || hasAggregate(e.r)
 	case *unaryExpr:
 		return hasAggregate(e.x)
+	case *isNullExpr:
+		return hasAggregate(e.x)
 	}
 	return false
 }
 
-func (db *DB) orderRows(s *selectStmt, sc *scope, out *Table, exprs []selectExpr) error {
-	// ORDER BY expressions must reference output columns by name.
-	idx := make([]int, len(s.orderBy))
-	for i, oe := range s.orderBy {
-		cr, ok := oe.(*colRef)
-		if !ok {
-			return fmt.Errorf("sql: ORDER BY supports output column names only")
-		}
-		j := out.ColIndex(cr.name)
-		if j < 0 {
-			return fmt.Errorf("sql: ORDER BY column %s not in output", cr.name)
-		}
-		idx[i] = j
+// compareNullsLast is the engine's one ordering rule for NULL: every
+// NULL sorts after every non-NULL value, and NULLs compare equal to each
+// other. Both executors (and Table.SortRows) sort through this, so a
+// query's output order never depends on which executor ran it.
+func compareNullsLast(a, b model.Value) int {
+	switch {
+	case !a.IsValid() && !b.IsValid():
+		return 0
+	case !a.IsValid():
+		return 1
+	case !b.IsValid():
+		return -1
+	default:
+		return a.Compare(b)
 	}
-	sort.SliceStable(out.Rows, func(a, b int) bool {
-		for _, j := range idx {
-			if c := out.Rows[a][j].Compare(out.Rows[b][j]); c != 0 {
-				return c < 0
-			}
+}
+
+// sortRowsBy sorts rows of the given width by the column indexes in by
+// (nil means all columns left to right), breaking ties by the remaining
+// columns in schema order. With full-row tie-breaking the order is a pure
+// function of the result set — independent of input order, join order and
+// executor — which is what the cross-engine determinism tests pin.
+func sortRowsBy(rows [][]model.Value, width int, by []int) {
+	if len(rows) < 2 {
+		return
+	}
+	keys := make([]int, 0, width)
+	inKey := make([]bool, width)
+	for _, j := range by {
+		if !inKey[j] {
+			keys = append(keys, j)
+			inKey[j] = true
 		}
-		return false
-	})
-	return nil
+	}
+	for j := 0; j < width; j++ {
+		if !inKey[j] {
+			keys = append(keys, j)
+		}
+	}
+	// Encode each row once into an order-preserving byte key (NULLS LAST
+	// built into the encoding) and sort key/row pairs by memcmp: one pass
+	// of key building replaces O(n log n) polymorphic Compare calls.
+	buf := make([]byte, 0, len(rows)*10*len(keys))
+	type rowKey struct {
+		key []byte
+		row []model.Value
+	}
+	pairs := make([]rowKey, len(rows))
+	lo := 0
+	for i, r := range rows {
+		for _, j := range keys {
+			buf = model.AppendOrderedKey(buf, r[j])
+		}
+		pairs[i] = rowKey{key: buf[lo:len(buf):len(buf)], row: r}
+		lo = len(buf)
+	}
+	slices.SortFunc(pairs, func(a, b rowKey) int { return bytes.Compare(a.key, b.key) })
+	for i := range pairs {
+		rows[i] = pairs[i].row
+	}
 }
 
 // evalExpr evaluates a scalar expression over a row. An invalid Value with
@@ -665,6 +825,12 @@ func (db *DB) evalExpr(e expr, sc *scope, row []model.Value) (model.Value, error
 		// applyBinary owns NULL propagation (comparisons and arithmetic
 		// are NULL-strict), so NULL operands flow through unguarded.
 		return applyBinary(e.op, l, r)
+	case *isNullExpr:
+		x, err := db.evalExpr(e.x, sc, row)
+		if err != nil {
+			return x, err
+		}
+		return applyIsNull(x, e.not), nil
 	case *callExpr:
 		if ops.IsAggregation(e.name) || e.name == "count" {
 			return model.Value{}, fmt.Errorf("sql: aggregate %s outside grouped context", e.name)
@@ -683,53 +849,80 @@ func (db *DB) evalExpr(e expr, sc *scope, row []model.Value) (model.Value, error
 	}
 }
 
-func (db *DB) applyScalarCall(name string, vals []model.Value) (model.Value, error) {
-	// Period functions.
+// applyIsNull is x IS [NOT] NULL: the only operator that maps unknown to
+// a known boolean instead of propagating it.
+func applyIsNull(x model.Value, not bool) model.Value {
+	return model.Bool(x.IsValid() == not)
+}
+
+// scalarCallFunc applies a resolved scalar function to argument values.
+type scalarCallFunc func(vals []model.Value) (model.Value, error)
+
+// resolveScalarCall resolves a scalar function name once and returns its
+// applier: the vectorized executor calls this at compile time and reuses
+// the closure per row, the legacy evaluator per call. Either way the
+// semantics — period functions, undefined-point → NULL, type errors —
+// live here exactly once.
+func resolveScalarCall(name string) (scalarCallFunc, error) {
 	switch name {
 	case "quarter", "month", "year":
-		if len(vals) != 1 {
-			return model.Value{}, fmt.Errorf("sql: %s takes one argument", name)
-		}
 		f, err := ops.Dimension(name)
 		if err != nil {
-			return model.Value{}, err
+			return nil, err
 		}
-		v, err := f.Apply(vals[0])
-		if err != nil {
-			return model.Value{}, err
-		}
-		return v, nil
+		return func(vals []model.Value) (model.Value, error) {
+			if len(vals) != 1 {
+				return model.Value{}, fmt.Errorf("sql: %s takes one argument", name)
+			}
+			v, err := f.Apply(vals[0])
+			if err != nil {
+				return model.Value{}, err
+			}
+			return v, nil
+		}, nil
 	case "shift":
-		if len(vals) != 2 {
-			return model.Value{}, fmt.Errorf("sql: shift takes (period, steps)")
-		}
-		n, ok := vals[1].AsInt()
-		if !ok {
-			return model.Value{}, fmt.Errorf("sql: shift steps must be an integer")
-		}
-		return ops.ShiftValue(vals[0], n)
+		return func(vals []model.Value) (model.Value, error) {
+			if len(vals) != 2 {
+				return model.Value{}, fmt.Errorf("sql: shift takes (period, steps)")
+			}
+			n, ok := vals[1].AsInt()
+			if !ok {
+				return model.Value{}, fmt.Errorf("sql: shift steps must be an integer")
+			}
+			return ops.ShiftValue(vals[0], n)
+		}, nil
 	}
 	// Numeric scalar functions from the operator library.
 	f, err := ops.Scalar(name)
 	if err != nil {
-		return model.Value{}, fmt.Errorf("sql: unknown function %s", name)
+		return nil, fmt.Errorf("sql: unknown function %s", name)
 	}
-	args := make([]float64, len(vals))
-	for i, v := range vals {
-		x, ok := v.AsNumber()
-		if !ok {
-			return model.Value{}, fmt.Errorf("sql: %s over non-numeric value %v", name, v)
+	return func(vals []model.Value) (model.Value, error) {
+		args := make([]float64, len(vals))
+		for i, v := range vals {
+			x, ok := v.AsNumber()
+			if !ok {
+				return model.Value{}, fmt.Errorf("sql: %s over non-numeric value %v", name, v)
+			}
+			args[i] = x
 		}
-		args[i] = x
-	}
-	out, err := f(args...)
+		out, err := f(args...)
+		if err != nil {
+			if ops.ErrUndefined(err) {
+				return model.Value{}, nil // NULL
+			}
+			return model.Value{}, err
+		}
+		return model.Num(out), nil
+	}, nil
+}
+
+func (db *DB) applyScalarCall(name string, vals []model.Value) (model.Value, error) {
+	f, err := resolveScalarCall(name)
 	if err != nil {
-		if ops.ErrUndefined(err) {
-			return model.Value{}, nil // NULL
-		}
 		return model.Value{}, err
 	}
-	return model.Num(out), nil
+	return f(vals)
 }
 
 // kleeneLogic is SQL's three-valued and/or (Kleene's strong logic): NULL
@@ -784,6 +977,24 @@ func applyUnary(op string, x model.Value) (model.Value, error) {
 	default:
 		return model.Value{}, fmt.Errorf("sql: unknown unary operator %s", op)
 	}
+}
+
+// The four arithmetic operators are resolved from the operator library
+// once at package init instead of per row: ops.Scalar is a map lookup,
+// and the tree-walking evaluator used to pay it for every cell.
+var arithFns = map[string]ops.ScalarFunc{
+	"+": mustScalarFn("add"),
+	"-": mustScalarFn("sub"),
+	"*": mustScalarFn("mul"),
+	"/": mustScalarFn("div"),
+}
+
+func mustScalarFn(name string) ops.ScalarFunc {
+	f, err := ops.Scalar(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 func applyBinary(op string, l, r model.Value) (model.Value, error) {
@@ -853,18 +1064,7 @@ func applyBinary(op string, l, r model.Value) (model.Value, error) {
 		if !ok1 || !ok2 {
 			return model.Value{}, fmt.Errorf("sql: arithmetic over non-numeric values %v, %v", l, r)
 		}
-		var name string
-		switch op {
-		case "+":
-			name = "add"
-		case "-":
-			name = "sub"
-		case "*":
-			name = "mul"
-		case "/":
-			name = "div"
-		}
-		f, _ := ops.Scalar(name)
+		f := arithFns[op]
 		out, err := f(lf, rf)
 		if err != nil {
 			if ops.ErrUndefined(err) {
@@ -945,7 +1145,7 @@ func (db *DB) inferType(e expr, sc *scope) ColType {
 	}
 }
 
-func (db *DB) evalInsertValues(s *insertValuesStmt) error {
+func (db *DB) evalInsertValues(ctx context.Context, s *insertValuesStmt) error {
 	t, ok := db.Table(s.table)
 	if !ok {
 		return fmt.Errorf("sql: unknown table %s", s.table)
@@ -975,10 +1175,11 @@ func (db *DB) evalInsertValues(s *insertValuesStmt) error {
 		t.Rows = append(t.Rows, row)
 		db.mu.Unlock()
 	}
+	t.Invalidate()
 	return nil
 }
 
-func (db *DB) evalInsertSelect(s *insertSelectStmt) error {
+func (db *DB) evalInsertSelect(ctx context.Context, s *insertSelectStmt) error {
 	t, ok := db.Table(s.table)
 	if !ok {
 		return fmt.Errorf("sql: unknown table %s", s.table)
@@ -987,7 +1188,7 @@ func (db *DB) evalInsertSelect(s *insertSelectStmt) error {
 	if err != nil {
 		return err
 	}
-	res, err := db.evalSelect(s.sel)
+	res, err := db.evalSelectCtx(ctx, s.sel)
 	if err != nil {
 		return err
 	}
@@ -1007,6 +1208,7 @@ func (db *DB) evalInsertSelect(s *insertSelectStmt) error {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.Invalidate()
 	return nil
 }
 
@@ -1015,6 +1217,7 @@ func (db *DB) evalDelete(s *deleteStmt) error {
 	if !ok {
 		return fmt.Errorf("sql: unknown table %s", s.table)
 	}
+	defer t.Invalidate()
 	if s.where == nil {
 		db.mu.Lock()
 		t.Rows = nil

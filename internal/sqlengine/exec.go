@@ -1,0 +1,1141 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+
+	"exlengine/internal/colbatch"
+	"exlengine/internal/model"
+	"exlengine/internal/obs"
+	"exlengine/internal/ops"
+)
+
+// The vectorized executor. Every operator implements execOp and streams
+// colbatch.Batch chunks (~colbatch.Chunk rows); expressions are compiled
+// once per statement into compiledExpr closures that evaluate a whole
+// column vector per call, so the per-row work is the semantic kernel
+// (applyBinary, kleeneLogic, the resolved scalar closure) with no name
+// resolution, no map lookups and no interface dispatch on the tree.
+//
+// The executor's semantics are pinned to the legacy tree-walker: both
+// call the same applyBinary/applyUnary/kleeneLogic/resolveScalarCall
+// helpers, so NULL propagation (Kleene 3VL, NULL-strict comparisons and
+// arithmetic, NULL output drops the row) cannot drift between them.
+
+// compiledExpr evaluates an expression over a batch, returning one value
+// per row. Column references return the batch's column slice directly
+// (zero copy); computed nodes return a scratch vector owned by the node
+// and overwritten on the next eval call. That is safe under the executor's
+// batch-validity rule — a batch returned by next() is only live until the
+// next call to next() on the same operator, and every consumer that keeps
+// rows longer (drain, join build, group reps) copies them out first.
+type compiledExpr interface {
+	eval(b *colbatch.Batch) ([]model.Value, error)
+}
+
+// scratchVec returns buf resized to n rows, reallocating only on growth.
+// Callers must overwrite every element — stale values are not cleared.
+func scratchVec(buf []model.Value, n int) []model.Value {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]model.Value, n)
+}
+
+// compileEnv is the schema expressions compile against. aggs, set only
+// for a groupNode's final expressions, maps canonical aggregate strings
+// to pseudo-column indices in the extended (input + aggregates) batch.
+type compileEnv struct {
+	cols []planCol
+	aggs map[string]int
+}
+
+type litC struct {
+	v   model.Value
+	out []model.Value
+}
+
+func (c *litC) eval(b *colbatch.Batch) ([]model.Value, error) {
+	c.out = scratchVec(c.out, b.N)
+	for i := range c.out {
+		c.out[i] = c.v
+	}
+	return c.out, nil
+}
+
+type colC struct{ idx int }
+
+func (c *colC) eval(b *colbatch.Batch) ([]model.Value, error) {
+	return b.Cols[c.idx], nil
+}
+
+type unaryC struct {
+	op  string
+	x   compiledExpr
+	out []model.Value
+}
+
+func (c *unaryC) eval(b *colbatch.Batch) ([]model.Value, error) {
+	xv, err := c.x.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	out := scratchVec(c.out, b.N)
+	c.out = out
+	for i := 0; i < b.N; i++ {
+		v, err := applyUnary(c.op, xv[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type binC struct {
+	op   string
+	l, r compiledExpr
+	out  []model.Value
+}
+
+func (c *binC) eval(b *colbatch.Batch) ([]model.Value, error) {
+	lv, err := c.l.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := c.r.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	out := scratchVec(c.out, b.N)
+	c.out = out
+	if c.op == "and" || c.op == "or" {
+		for i := 0; i < b.N; i++ {
+			v, err := kleeneLogic(c.op, lv[i], rv[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	for i := 0; i < b.N; i++ {
+		v, err := applyBinary(c.op, lv[i], rv[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type isNullC struct {
+	x   compiledExpr
+	not bool
+	out []model.Value
+}
+
+func (c *isNullC) eval(b *colbatch.Batch) ([]model.Value, error) {
+	xv, err := c.x.eval(b)
+	if err != nil {
+		return nil, err
+	}
+	out := scratchVec(c.out, b.N)
+	c.out = out
+	for i := 0; i < b.N; i++ {
+		out[i] = applyIsNull(xv[i], c.not)
+	}
+	return out, nil
+}
+
+// callC is a scalar function call with the function resolved at compile
+// time. Resolution failure is kept, not raised, until a row with all
+// arguments non-NULL actually needs the function — matching the legacy
+// evaluator, where an unknown function over always-NULL arguments never
+// surfaces.
+type callC struct {
+	name       string
+	fn         scalarCallFunc
+	resolveErr error
+	args       []compiledExpr
+	argv       [][]model.Value
+	out        []model.Value
+	buf        []model.Value
+}
+
+func (c *callC) eval(b *colbatch.Batch) ([]model.Value, error) {
+	if c.argv == nil {
+		c.argv = make([][]model.Value, len(c.args))
+		c.buf = make([]model.Value, len(c.args))
+	}
+	argv, buf := c.argv, c.buf
+	for i, a := range c.args {
+		v, err := a.eval(b)
+		if err != nil {
+			return nil, err
+		}
+		argv[i] = v
+	}
+	out := scratchVec(c.out, b.N)
+	c.out = out
+	for i := 0; i < b.N; i++ {
+		null := false
+		for j := range argv {
+			v := argv[j][i]
+			if !v.IsValid() {
+				null = true
+				break
+			}
+			buf[j] = v
+		}
+		if null {
+			out[i] = model.Value{} // NULL argument: NULL result
+			continue
+		}
+		if c.resolveErr != nil {
+			return nil, c.resolveErr
+		}
+		v, err := c.fn(buf)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// compileExpr compiles an expression against a schema. Aggregate calls
+// resolve to pseudo-column references when env.aggs is set (groupNode
+// finals) and are an error otherwise.
+func compileExpr(e expr, env compileEnv) (compiledExpr, error) {
+	switch e := e.(type) {
+	case *lit:
+		return &litC{v: e.v}, nil
+	case *colRef:
+		idx, err := resolvePlanCol(env.cols, e.qual, e.name)
+		if err != nil {
+			return nil, err
+		}
+		return &colC{idx: idx}, nil
+	case *unaryExpr:
+		x, err := compileExpr(e.x, env)
+		if err != nil {
+			return nil, err
+		}
+		return &unaryC{op: e.op, x: x}, nil
+	case *binExpr:
+		l, err := compileExpr(e.l, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(e.r, env)
+		if err != nil {
+			return nil, err
+		}
+		return &binC{op: e.op, l: l, r: r}, nil
+	case *isNullExpr:
+		x, err := compileExpr(e.x, env)
+		if err != nil {
+			return nil, err
+		}
+		return &isNullC{x: x, not: e.not}, nil
+	case *callExpr:
+		if ops.IsAggregation(e.name) || e.name == "count" {
+			if env.aggs != nil {
+				if idx, ok := env.aggs[exprString(e)]; ok {
+					return &colC{idx: idx}, nil
+				}
+			}
+			return nil, fmt.Errorf("sql: aggregate %s outside grouped context", e.name)
+		}
+		args := make([]compiledExpr, len(e.args))
+		for i, a := range e.args {
+			c, err := compileExpr(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		fn, err := resolveScalarCall(e.name)
+		return &callC{name: e.name, fn: fn, resolveErr: err, args: args}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+// execOp is a streaming executor operator: next returns the next batch,
+// or nil at end of stream.
+type execOp interface {
+	next() (*colbatch.Batch, error)
+}
+
+// opMetrics instruments an operator's output with per-kind row and batch
+// counters (nil-safe: a nil registry no-ops).
+type opMetrics struct {
+	rows    *obs.Counter
+	batches *obs.Counter
+}
+
+func newOpMetrics(reg *obs.Registry, kind string) opMetrics {
+	return opMetrics{
+		rows:    reg.Counter(obs.Label(obs.MetricSQLOpRows, "op", kind)),
+		batches: reg.Counter(obs.Label(obs.MetricSQLBatches, "op", kind)),
+	}
+}
+
+func (m opMetrics) emit(b *colbatch.Batch) {
+	if b != nil {
+		m.rows.Add(int64(b.N))
+		m.batches.Inc()
+	}
+}
+
+// batchScratch is an operator-owned output buffer. Reusing it across
+// next() calls is safe under the same batch-validity rule as expression
+// scratches: a returned batch is only live until the next call to next()
+// on the operator that produced it.
+type batchScratch struct {
+	b       colbatch.Batch
+	backing []model.Value
+}
+
+// get returns the scratch shaped to rows×width, all columns sliced from
+// one flat backing array. Contents are stale; callers overwrite.
+func (s *batchScratch) get(rows, width int) *colbatch.Batch {
+	need := rows * width
+	if cap(s.backing) < need {
+		s.backing = make([]model.Value, need)
+	}
+	backing := s.backing[:need]
+	if cap(s.b.Cols) < width {
+		s.b.Cols = make([][]model.Value, width)
+	}
+	s.b.Cols = s.b.Cols[:width]
+	for j := 0; j < width; j++ {
+		s.b.Cols[j] = backing[j*rows : (j+1)*rows : (j+1)*rows]
+	}
+	s.b.N = rows
+	return &s.b
+}
+
+// gatherInto copies the selected row indexes of b into the scratch.
+func gatherInto(s *batchScratch, b *colbatch.Batch, sel []int) *colbatch.Batch {
+	out := s.get(len(sel), len(b.Cols))
+	for j, c := range b.Cols {
+		col := out.Cols[j]
+		for i, r := range sel {
+			col[i] = c[r]
+		}
+	}
+	return out
+}
+
+// appendBatch appends src's rows onto dst column-wise.
+func appendBatch(dst, src *colbatch.Batch) {
+	for j := range dst.Cols {
+		dst.Cols[j] = append(dst.Cols[j], src.Cols[j]...)
+	}
+	dst.N += src.N
+}
+
+// drainOp consumes an operator to completion into one batch.
+func drainOp(op execOp, width int) (*colbatch.Batch, error) {
+	all := &colbatch.Batch{Cols: make([][]model.Value, width)}
+	for {
+		b, err := op.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return all, nil
+		}
+		appendBatch(all, b)
+	}
+}
+
+// scanOp streams a table's cached columnar view in Chunk-row slices,
+// applying the scan's column pruning as a zero-copy re-slice.
+type scanOp struct {
+	n   *scanNode
+	m   opMetrics
+	src *colbatch.Batch
+	pos int
+}
+
+func newScanOp(n *scanNode, reg *obs.Registry) *scanOp {
+	src := n.table.Batch()
+	if n.proj != nil {
+		src = src.Project(n.proj)
+	}
+	return &scanOp{n: n, m: newOpMetrics(reg, "scan"), src: src}
+}
+
+func (o *scanOp) next() (*colbatch.Batch, error) {
+	if o.pos >= o.src.N {
+		return nil, nil
+	}
+	hi := o.pos + colbatch.Chunk
+	if hi > o.src.N {
+		hi = o.src.N
+	}
+	b := o.src.Slice(o.pos, hi)
+	o.pos = hi
+	o.m.emit(b)
+	return b, nil
+}
+
+// filterOp keeps rows whose predicate is TRUE.
+type filterOp struct {
+	n       *filterNode
+	m       opMetrics
+	child   execOp
+	sel     []int
+	scratch batchScratch
+}
+
+func (o *filterOp) next() (*colbatch.Batch, error) {
+	for {
+		b, err := o.child.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		pred, err := o.n.ccond.eval(b)
+		if err != nil {
+			return nil, err
+		}
+		sel := o.sel[:0]
+		for i := 0; i < b.N; i++ {
+			if keep, ok := pred[i].AsBool(); ok && keep {
+				sel = append(sel, i)
+			}
+		}
+		o.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		var out *colbatch.Batch
+		if len(sel) == b.N {
+			out = b
+		} else {
+			out = gatherInto(&o.scratch, b, sel)
+		}
+		o.m.emit(out)
+		return out, nil
+	}
+}
+
+// joinOp is a hash join (build on the right input, probe from the left;
+// NULL keys never match) or, without keys, a block nested-loop cross
+// product. Output columns are left's followed by right's.
+type joinOp struct {
+	n           *joinNode
+	m           opMetrics
+	left, right execOp
+
+	built      bool
+	rightAll   *colbatch.Batch
+	index      map[string][]int
+	keyb       []byte
+	lsel, rsel []int
+	keyBuf     []model.Value
+	keyVecs    [][]model.Value
+	scratch    batchScratch
+}
+
+func (o *joinOp) build() error {
+	rightWidth := len(o.n.right.cols())
+	all := &colbatch.Batch{Cols: make([][]model.Value, rightWidth)}
+	index := make(map[string][]int)
+	keyBuf := make([]model.Value, len(o.n.ckRight))
+	keyVecs := make([][]model.Value, len(o.n.ckRight))
+	for {
+		b, err := o.right.next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if len(o.n.ckRight) > 0 {
+			for i, ck := range o.n.ckRight {
+				v, err := ck.eval(b)
+				if err != nil {
+					return err
+				}
+				keyVecs[i] = v
+			}
+			base := all.N
+			for r := 0; r < b.N; r++ {
+				null := false
+				for i := range keyVecs {
+					v := keyVecs[i][r]
+					if !v.IsValid() {
+						null = true
+						break
+					}
+					keyBuf[i] = v
+				}
+				if null {
+					continue
+				}
+				o.keyb = model.AppendKey(o.keyb[:0], keyBuf)
+				k := string(o.keyb)
+				index[k] = append(index[k], base+r)
+			}
+		}
+		appendBatch(all, b)
+	}
+	o.rightAll = all
+	o.index = index
+	o.built = true
+	return nil
+}
+
+func (o *joinOp) next() (*colbatch.Batch, error) {
+	if !o.built {
+		if err := o.build(); err != nil {
+			return nil, err
+		}
+	}
+	leftWidth := len(o.n.left.cols())
+	rightWidth := len(o.n.right.cols())
+	if o.keyBuf == nil {
+		o.keyBuf = make([]model.Value, len(o.n.ckLeft))
+		o.keyVecs = make([][]model.Value, len(o.n.ckLeft))
+	}
+	keyBuf, keyVecs := o.keyBuf, o.keyVecs
+	for {
+		lb, err := o.left.next()
+		if err != nil || lb == nil {
+			return nil, err
+		}
+		lsel, rsel := o.lsel[:0], o.rsel[:0]
+		if len(o.n.ckLeft) > 0 {
+			for i, ck := range o.n.ckLeft {
+				v, err := ck.eval(lb)
+				if err != nil {
+					return nil, err
+				}
+				keyVecs[i] = v
+			}
+			for r := 0; r < lb.N; r++ {
+				null := false
+				for i := range keyVecs {
+					v := keyVecs[i][r]
+					if !v.IsValid() {
+						null = true
+						break
+					}
+					keyBuf[i] = v
+				}
+				if null {
+					continue
+				}
+				o.keyb = model.AppendKey(o.keyb[:0], keyBuf)
+				for _, rr := range o.index[string(o.keyb)] {
+					lsel = append(lsel, r)
+					rsel = append(rsel, rr)
+				}
+			}
+		} else {
+			for r := 0; r < lb.N; r++ {
+				for rr := 0; rr < o.rightAll.N; rr++ {
+					lsel = append(lsel, r)
+					rsel = append(rsel, rr)
+				}
+			}
+		}
+		o.lsel, o.rsel = lsel, rsel
+		if len(lsel) == 0 {
+			continue
+		}
+		// Gather only the pruned output columns (outCols indexes the
+		// left+right concatenation; nil means all).
+		outIdx := o.n.outCols
+		width := leftWidth + rightWidth
+		if outIdx != nil {
+			width = len(outIdx)
+		}
+		out := o.scratch.get(len(lsel), width)
+		for k := 0; k < width; k++ {
+			ci := k
+			if outIdx != nil {
+				ci = outIdx[k]
+			}
+			col := out.Cols[k]
+			if ci < leftWidth {
+				src := lb.Cols[ci]
+				for i, r := range lsel {
+					col[i] = src[r]
+				}
+			} else {
+				src := o.rightAll.Cols[ci-leftWidth]
+				for i, r := range rsel {
+					col[i] = src[r]
+				}
+			}
+		}
+		o.m.emit(out)
+		return out, nil
+	}
+}
+
+// projectOp computes the output expressions and drops rows with a NULL
+// output (the cube partial-function contract).
+type projectOp struct {
+	n       *projectNode
+	m       opMetrics
+	child   execOp
+	sel     []int
+	vecs    [][]model.Value
+	passed  colbatch.Batch
+	scratch batchScratch
+}
+
+func (o *projectOp) next() (*colbatch.Batch, error) {
+	for {
+		b, err := o.child.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if o.vecs == nil {
+			o.vecs = make([][]model.Value, len(o.n.compiled))
+		}
+		vecs := o.vecs
+		for i, c := range o.n.compiled {
+			v, err := c.eval(b)
+			if err != nil {
+				return nil, err
+			}
+			vecs[i] = v
+		}
+		sel := o.sel[:0]
+		for r := 0; r < b.N; r++ {
+			null := false
+			for i := range vecs {
+				if !vecs[i][r].IsValid() {
+					null = true
+					break
+				}
+			}
+			if !null {
+				sel = append(sel, r)
+			}
+		}
+		o.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		var out *colbatch.Batch
+		if len(sel) == b.N {
+			o.passed.N = b.N
+			o.passed.Cols = append(o.passed.Cols[:0], vecs...)
+			out = &o.passed
+		} else {
+			out = o.scratch.get(len(sel), len(vecs))
+			for j, v := range vecs {
+				col := out.Cols[j]
+				for i, r := range sel {
+					col[i] = v[r]
+				}
+			}
+		}
+		o.m.emit(out)
+		return out, nil
+	}
+}
+
+// groupOp is hash aggregation. It consumes its whole input, grouping by
+// the encoded key vector (rows with a NULL key are skipped) and feeding
+// each aggregate's argument vector into per-group accumulators; then it
+// evaluates the final expressions over the representative rows extended
+// with the aggregate pseudo-columns, dropping NULL outputs.
+type groupOp struct {
+	n       *groupNode
+	m       opMetrics
+	child   execOp
+	done    bool
+	scratch batchScratch
+	kinds   []aggKind
+	states  [][]aggState // [aggregate][group ordinal]
+}
+
+// aggKind selects the inlined accumulator update for the common
+// aggregations; aggOther falls back to an ops.Aggregator instance so any
+// aggregation the registry knows still works, just without the fast path.
+type aggKind uint8
+
+const (
+	aggSum aggKind = iota
+	aggAvg
+	aggCount
+	aggMin
+	aggMax
+	aggMedian
+	aggStddev
+	aggProd
+	aggOther
+)
+
+func aggKindOf(name string) aggKind {
+	switch name {
+	case "sum":
+		return aggSum
+	case "avg":
+		return aggAvg
+	case "count":
+		return aggCount
+	case "min":
+		return aggMin
+	case "max":
+		return aggMax
+	case "median":
+		return aggMedian
+	case "stddev":
+		return aggStddev
+	case "prod":
+		return aggProd
+	default:
+		return aggOther
+	}
+}
+
+// aggState is one group's accumulator for one aggregate: a is the
+// sum/min/max/product (or Welford mean for stddev), b the Welford M2.
+// Keeping groups in flat []aggState slices — one append per new group —
+// replaces the per-group interface allocations the hash aggregator used
+// to make.
+type aggState struct {
+	n   int
+	a   float64
+	b   float64
+	vs  []float64      // median keeps the bag
+	agg ops.Aggregator // aggOther fallback
+}
+
+func (st *aggState) add(kind aggKind, name string, v float64) {
+	st.n++
+	switch kind {
+	case aggSum, aggAvg:
+		st.a += v
+	case aggCount:
+	case aggMin:
+		if st.n == 1 || v < st.a {
+			st.a = v
+		}
+	case aggMax:
+		if st.n == 1 || v > st.a {
+			st.a = v
+		}
+	case aggMedian:
+		st.vs = append(st.vs, v)
+	case aggStddev:
+		d := v - st.a
+		st.a += d / float64(st.n)
+		st.b += d * (v - st.a)
+	case aggProd:
+		if st.n == 1 {
+			st.a = v
+		} else {
+			st.a *= v
+		}
+	default:
+		if st.agg == nil {
+			agg, err := ops.NewAggregator(name)
+			if err != nil {
+				// Names were vetted at compile time (IsAggregation/count).
+				panic(err)
+			}
+			st.agg = agg
+		}
+		st.agg.Add(v)
+	}
+}
+
+func (st *aggState) result(kind aggKind) float64 {
+	switch kind {
+	case aggSum, aggMin, aggMax, aggProd:
+		return st.a
+	case aggAvg:
+		return st.a / float64(st.n)
+	case aggCount:
+		return float64(st.n)
+	case aggMedian:
+		vs := append([]float64(nil), st.vs...)
+		slices.Sort(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	case aggStddev:
+		return math.Sqrt(st.b / float64(st.n))
+	default:
+		return st.agg.Result()
+	}
+}
+
+func (o *groupOp) next() (*colbatch.Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+
+	childWidth := len(o.n.child.cols())
+	reps := &colbatch.Batch{Cols: make([][]model.Value, childWidth)}
+	groups := make(map[string]int)
+	o.kinds = make([]aggKind, len(o.n.aggs))
+	for i, spec := range o.n.aggs {
+		o.kinds[i] = aggKindOf(spec.name)
+	}
+	o.states = make([][]aggState, len(o.n.aggs))
+	ngroups := 0
+	keyBuf := make([]model.Value, len(o.n.ckKeys))
+	rowBuf := make([]model.Value, childWidth)
+	keyVecs := make([][]model.Value, len(o.n.ckKeys))
+	argVecs := make([][]model.Value, len(o.n.aggs))
+	var sel []int
+	var keyb []byte
+
+	for {
+		b, err := o.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+
+		// Restrict to rows with fully defined group keys before touching
+		// aggregate arguments, exactly as the legacy evaluator does.
+		if len(o.n.ckKeys) > 0 {
+			for i, ck := range o.n.ckKeys {
+				v, err := ck.eval(b)
+				if err != nil {
+					return nil, err
+				}
+				keyVecs[i] = v
+			}
+			sel = sel[:0]
+			for r := 0; r < b.N; r++ {
+				null := false
+				for i := range keyVecs {
+					if !keyVecs[i][r].IsValid() {
+						null = true
+						break
+					}
+				}
+				if !null {
+					sel = append(sel, r)
+				}
+			}
+			if len(sel) < b.N {
+				b = gatherInto(&o.scratch, b, sel)
+				for i, ck := range o.n.ckKeys {
+					v, err := ck.eval(b)
+					if err != nil {
+						return nil, err
+					}
+					keyVecs[i] = v
+				}
+			}
+			if b.N == 0 {
+				continue
+			}
+			if err := o.evalAggArgs(b, argVecs); err != nil {
+				return nil, err
+			}
+			for r := 0; r < b.N; r++ {
+				for i := range keyVecs {
+					keyBuf[i] = keyVecs[i][r]
+				}
+				keyb = model.AppendKey(keyb[:0], keyBuf)
+				// The string(...) lookup is allocation-free; the key string
+				// is materialized only when a new group is created.
+				g, ok := groups[string(keyb)]
+				if !ok {
+					g = o.newGroup(&ngroups)
+					groups[string(keyb)] = g
+					reps.AppendRow(b.Row(r, rowBuf))
+				}
+				if err := o.feed(g, argVecs, r); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			if b.N == 0 {
+				continue
+			}
+			if err := o.evalAggArgs(b, argVecs); err != nil {
+				return nil, err
+			}
+			for r := 0; r < b.N; r++ {
+				g, ok := groups[""]
+				if !ok {
+					g = o.newGroup(&ngroups)
+					groups[""] = g
+					reps.AppendRow(b.Row(r, rowBuf))
+				}
+				if err := o.feed(g, argVecs, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// A global aggregate always has one group, even over zero rows: the
+	// representative row is all-NULL, COUNT answers 0, the rest NULL.
+	if len(o.n.groupBy) == 0 && ngroups == 0 {
+		o.newGroup(&ngroups)
+		reps.AppendRow(make([]model.Value, childWidth))
+	}
+
+	if ngroups == 0 {
+		return nil, nil
+	}
+
+	// Extended batch: representative rows + one column per aggregate.
+	ext := &colbatch.Batch{N: reps.N, Cols: make([][]model.Value, childWidth+len(o.n.aggs))}
+	copy(ext.Cols, reps.Cols)
+	for ai := range o.n.aggs {
+		col := make([]model.Value, ngroups)
+		for gi := range col {
+			st := &o.states[ai][gi]
+			if st.n == 0 {
+				col[gi] = aggEmptyResult(o.n.aggs[ai].name)
+			} else {
+				col[gi] = model.Num(st.result(o.kinds[ai]))
+			}
+		}
+		ext.Cols[childWidth+ai] = col
+	}
+
+	vecs := make([][]model.Value, len(o.n.finals))
+	for i, c := range o.n.finals {
+		v, err := c.eval(ext)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	sel = sel[:0]
+	for r := 0; r < ext.N; r++ {
+		null := false
+		for i := range vecs {
+			if !vecs[i][r].IsValid() {
+				null = true
+				break
+			}
+		}
+		if !null {
+			sel = append(sel, r)
+		}
+	}
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	out := &colbatch.Batch{N: len(sel), Cols: make([][]model.Value, len(vecs))}
+	for j, v := range vecs {
+		col := make([]model.Value, len(sel))
+		for i, r := range sel {
+			col[i] = v[r]
+		}
+		out.Cols[j] = col
+	}
+	o.m.emit(out)
+	return out, nil
+}
+
+// newGroup appends a zero accumulator for every aggregate and returns
+// the new group's ordinal.
+func (o *groupOp) newGroup(ngroups *int) int {
+	g := *ngroups
+	*ngroups++
+	for i := range o.states {
+		o.states[i] = append(o.states[i], aggState{})
+	}
+	return g
+}
+
+func (o *groupOp) evalAggArgs(b *colbatch.Batch, argVecs [][]model.Value) error {
+	for i, spec := range o.n.aggs {
+		if spec.star {
+			continue
+		}
+		v, err := spec.carg.eval(b)
+		if err != nil {
+			return err
+		}
+		argVecs[i] = v
+	}
+	return nil
+}
+
+func (o *groupOp) feed(g int, argVecs [][]model.Value, r int) error {
+	for i := range o.n.aggs {
+		spec := &o.n.aggs[i]
+		if spec.star {
+			o.states[i][g].add(o.kinds[i], spec.name, 0)
+			continue
+		}
+		v := argVecs[i][r]
+		if !v.IsValid() {
+			continue // nulls are not part of the bag
+		}
+		f, ok := v.AsNumber()
+		if !ok {
+			return fmt.Errorf("sql: aggregate %s over non-numeric value %v", spec.name, v)
+		}
+		o.states[i][g].add(o.kinds[i], spec.name, f)
+	}
+	return nil
+}
+
+// distinctOp removes duplicate rows across the whole stream.
+type distinctOp struct {
+	m       opMetrics
+	child   execOp
+	seen    map[string]bool
+	buf     []model.Value
+	keyb    []byte
+	sel     []int
+	scratch batchScratch
+}
+
+func (o *distinctOp) next() (*colbatch.Batch, error) {
+	if o.seen == nil {
+		o.seen = make(map[string]bool)
+	}
+	for {
+		b, err := o.child.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel := o.sel[:0]
+		for r := 0; r < b.N; r++ {
+			o.buf = b.Row(r, o.buf)
+			o.keyb = model.AppendKey(o.keyb[:0], o.buf)
+			if o.seen[string(o.keyb)] {
+				continue
+			}
+			o.seen[string(o.keyb)] = true
+			sel = append(sel, r)
+		}
+		o.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		var out *colbatch.Batch
+		if len(sel) == b.N {
+			out = b
+		} else {
+			out = gatherInto(&o.scratch, b, sel)
+		}
+		o.m.emit(out)
+		return out, nil
+	}
+}
+
+// buildOps lowers the analyzed plan (minus the root sortNode, which the
+// driver applies after materialization) into an operator tree.
+func buildOps(n planNode, reg *obs.Registry) (execOp, error) {
+	switch n := n.(type) {
+	case *scanNode:
+		return newScanOp(n, reg), nil
+	case *filterNode:
+		c, err := buildOps(n.child, reg)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{n: n, m: newOpMetrics(reg, "filter"), child: c}, nil
+	case *joinNode:
+		l, err := buildOps(n.left, reg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := buildOps(n.right, reg)
+		if err != nil {
+			return nil, err
+		}
+		kind := "hashjoin"
+		if len(n.leftKeys) == 0 {
+			kind = "crossjoin"
+		}
+		return &joinOp{n: n, m: newOpMetrics(reg, kind), left: l, right: r}, nil
+	case *projectNode:
+		c, err := buildOps(n.child, reg)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{n: n, m: newOpMetrics(reg, "project"), child: c}, nil
+	case *groupNode:
+		c, err := buildOps(n.child, reg)
+		if err != nil {
+			return nil, err
+		}
+		return &groupOp{n: n, m: newOpMetrics(reg, "groupby"), child: c}, nil
+	case *distinctNode:
+		c, err := buildOps(n.child, reg)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{m: newOpMetrics(reg, "distinct"), child: c}, nil
+	default:
+		return nil, fmt.Errorf("sql: internal: cannot execute plan node %T", n)
+	}
+}
+
+// evalSelectVec runs a SELECT through the vectorized pipeline:
+// prepare → lower → analyze → execute → sort/materialize.
+func (db *DB) evalSelectVec(ctx context.Context, s *selectStmt, r *resolver) (*Table, error) {
+	ctx, span := obs.StartSpan(ctx, "sql.vec")
+	p, err := db.prepareSelect(s, r)
+	if err != nil {
+		span.EndErr(err)
+		return nil, err
+	}
+	plan, err := db.buildPlan(s, p.sc, p.exprs, p.names, p.types)
+	if err != nil {
+		span.EndErr(err)
+		return nil, err
+	}
+	actx, aspan := obs.StartSpan(ctx, "sql.analyze")
+	plan, err = db.analyze(actx, plan, p.sc)
+	aspan.EndErr(err)
+	if err != nil {
+		span.EndErr(err)
+		return nil, err
+	}
+
+	root, ok := plan.(*sortNode)
+	if !ok {
+		err := fmt.Errorf("sql: internal: plan root is %T, want sort", plan)
+		span.EndErr(err)
+		return nil, err
+	}
+	_, espan := obs.StartSpan(ctx, "sql.exec")
+	op, err := buildOps(root.child, obs.MetricsFrom(ctx))
+	if err != nil {
+		espan.EndErr(err)
+		span.EndErr(err)
+		return nil, err
+	}
+	all, err := drainOp(op, len(root.child.cols()))
+	espan.EndErr(err)
+	if err != nil {
+		span.EndErr(err)
+		return nil, err
+	}
+
+	out := &Table{}
+	for i := range p.names {
+		out.Cols = append(out.Cols, Column{Name: p.names[i], Type: p.types[i]})
+	}
+	out.Rows = all.Rows()
+	sortRowsBy(out.Rows, len(out.Cols), root.by)
+	span.SetAttr(obs.Int("rows", len(out.Rows)))
+	span.End()
+	return out, nil
+}

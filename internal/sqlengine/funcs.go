@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"exlengine/internal/colbatch"
 	"exlengine/internal/model"
 	"exlengine/internal/ops"
 )
@@ -131,7 +132,9 @@ func (db *DB) CreateTableFor(sch model.Schema) error {
 }
 
 // LoadCube bulk-loads a cube instance into the matching table (created if
-// absent).
+// absent). The cube is converted columnar-first: into a fresh table it
+// also primes the table's cached batch, so the SQL dispatch path's
+// cube→table conversion is a column re-slice the executor reads directly.
 func (db *DB) LoadCube(c *model.Cube) error {
 	name := lower(c.Schema().Name)
 	t, ok := db.Table(name)
@@ -143,12 +146,14 @@ func (db *DB) LoadCube(c *model.Cube) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, tu := range c.Tuples() {
-		row := make([]model.Value, 0, len(tu.Dims)+1)
-		row = append(row, tu.Dims...)
-		row = append(row, model.Num(tu.Measure))
-		t.Rows = append(t.Rows, row)
+	b := colbatch.FromCube(c)
+	if len(t.Rows) == 0 {
+		t.Rows = b.Rows()
+		t.primeBatch(b)
+		return nil
 	}
+	t.Rows = append(t.Rows, b.Rows()...)
+	t.Invalidate()
 	return nil
 }
 
@@ -163,15 +168,9 @@ func (db *DB) ExtractCube(sch model.Schema) (*model.Cube, error) {
 	if len(t.Cols) != len(sch.Dims)+1 {
 		return nil, fmt.Errorf("sql: table %s has %d columns, cube %s wants %d", t.Name, len(t.Cols), sch.Name, len(sch.Dims)+1)
 	}
-	c := model.NewCube(sch)
-	for _, r := range t.Rows {
-		m, ok := r[len(r)-1].AsNumber()
-		if !ok {
-			return nil, fmt.Errorf("sql: non-numeric measure %v in table %s", r[len(r)-1], t.Name)
-		}
-		if err := c.Put(r[:len(r)-1], m); err != nil {
-			return nil, err
-		}
+	c, err := colbatch.ToCube(t.Batch(), sch)
+	if err != nil {
+		return nil, fmt.Errorf("sql: %w", err)
 	}
 	return c, nil
 }

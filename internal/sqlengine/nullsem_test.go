@@ -179,3 +179,127 @@ func TestNullLiteralParses(t *testing.T) {
 		t.Fatalf("NULL literal did not parse: %v", err)
 	}
 }
+
+// forBothExecs runs a subtest under the vectorized and the legacy
+// executor, so semantics pinned here are pinned for both.
+func forBothExecs(t *testing.T, f func(t *testing.T, mode ExecMode)) {
+	t.Helper()
+	for _, m := range []struct {
+		name string
+		mode ExecMode
+	}{{"vector", ExecVector}, {"legacy", ExecLegacy}} {
+		t.Run(m.name, func(t *testing.T) { f(t, m.mode) })
+	}
+}
+
+// TestAggregatesOverEmptyInput pins the empty-bag rule for global
+// aggregates: SUM/AVG/MIN/MAX have no value over zero rows, so the NULL
+// output drops the row; COUNT answers 0 and the row survives. With a
+// GROUP BY there are no groups at all, so even COUNT yields no row —
+// which is exactly the chase's behavior, where a group exists only if
+// some defined point created it.
+func TestAggregatesOverEmptyInput(t *testing.T) {
+	forBothExecs(t, func(t *testing.T, mode ExecMode) {
+		db := NewDB()
+		db.SetExecMode(mode)
+		mustExec(t, db, `CREATE TABLE E (g VARCHAR, v DOUBLE);`)
+		for _, fn := range []string{"sum", "avg", "min", "max"} {
+			if n := queryRows(t, db, `SELECT `+fn+`(v) AS s FROM E`); n != 0 {
+				t.Fatalf("%s over empty table kept %d rows, want 0", fn, n)
+			}
+		}
+		for _, q := range []string{`SELECT count(*) AS c FROM E`, `SELECT count(v) AS c FROM E`} {
+			res := mustQuery(t, db, q)
+			if len(res.Rows) != 1 {
+				t.Fatalf("%s: got %d rows, want 1", q, len(res.Rows))
+			}
+			if c, _ := res.Rows[0][0].AsNumber(); c != 0 {
+				t.Fatalf("%s = %v, want 0", q, res.Rows[0][0])
+			}
+		}
+		if n := queryRows(t, db, `SELECT g, count(v) AS c FROM E GROUP BY g`); n != 0 {
+			t.Fatalf("grouped count over empty table kept %d rows, want 0 (no groups)", n)
+		}
+	})
+}
+
+// TestAggregatesOverAllNullBag pins the all-NULL-bag rule: NULL
+// arguments are not part of the bag, so a group whose every argument is
+// NULL behaves like an empty bag — SUM/AVG/MIN/MAX yield NULL (row
+// dropped), COUNT(v) yields 0, and COUNT(*) still counts the rows.
+func TestAggregatesOverAllNullBag(t *testing.T) {
+	forBothExecs(t, func(t *testing.T, mode ExecMode) {
+		db := NewDB()
+		db.SetExecMode(mode)
+		// Base tables reject NULL inserts, so assemble the table directly.
+		db.tables["an"] = &Table{
+			Name: "an",
+			Cols: []Column{
+				{Name: "g", Type: ColType{Kind: KVarchar}},
+				{Name: "v", Type: ColType{Kind: KDouble}},
+			},
+			Rows: [][]model.Value{
+				{model.Str("x"), {}},
+				{model.Str("x"), {}},
+				{model.Str("y"), model.Num(5)},
+			},
+		}
+		for _, fn := range []string{"sum", "avg", "min", "max"} {
+			res := mustQuery(t, db, `SELECT g, `+fn+`(v) AS s FROM an GROUP BY g`)
+			if len(res.Rows) != 1 {
+				t.Fatalf("%s: got %d rows, want 1 (all-NULL group drops)", fn, len(res.Rows))
+			}
+			if g, _ := res.Rows[0][0].AsString(); g != "y" {
+				t.Fatalf("%s kept group %v, want y", fn, res.Rows[0][0])
+			}
+		}
+		res := mustQuery(t, db, `SELECT g, count(v) AS c FROM an GROUP BY g ORDER BY g`)
+		if len(res.Rows) != 2 {
+			t.Fatalf("count(v): got %d rows, want 2", len(res.Rows))
+		}
+		if c, _ := res.Rows[0][1].AsNumber(); c != 0 {
+			t.Fatalf("count(v) over all-NULL bag = %v, want 0", res.Rows[0][1])
+		}
+		if c, _ := res.Rows[1][1].AsNumber(); c != 1 {
+			t.Fatalf("count(v) over {5} = %v, want 1", res.Rows[1][1])
+		}
+		res = mustQuery(t, db, `SELECT g, count(*) AS c FROM an GROUP BY g ORDER BY g`)
+		if c, _ := res.Rows[0][1].AsNumber(); c != 2 {
+			t.Fatalf("count(*) over all-NULL bag = %v, want 2 (stars count rows)", res.Rows[0][1])
+		}
+	})
+}
+
+// TestIsNullPredicate pins x IS [NOT] NULL: the one operator that maps
+// unknown to a known boolean, letting queries observe undefined points
+// instead of silently dropping them.
+func TestIsNullPredicate(t *testing.T) {
+	forBothExecs(t, func(t *testing.T, mode ExecMode) {
+		db := NewDB()
+		db.SetExecMode(mode)
+		db.tables["n"] = &Table{
+			Name: "n",
+			Cols: []Column{
+				{Name: "k", Type: ColType{Kind: KVarchar}},
+				{Name: "v", Type: ColType{Kind: KDouble}},
+			},
+			Rows: [][]model.Value{
+				{model.Str("a"), model.Num(1)},
+				{model.Str("b"), {}},
+			},
+		}
+		res := mustQuery(t, db, `SELECT k FROM n WHERE v IS NULL`)
+		if len(res.Rows) != 1 || res.Rows[0][0].String() != "b" {
+			t.Fatalf("IS NULL = %v, want [b]", res.Rows)
+		}
+		res = mustQuery(t, db, `SELECT k FROM n WHERE v IS NOT NULL`)
+		if len(res.Rows) != 1 || res.Rows[0][0].String() != "a" {
+			t.Fatalf("IS NOT NULL = %v, want [a]", res.Rows)
+		}
+		// IS NULL of a computed NULL (undefined point) is TRUE too.
+		res = mustQuery(t, db, `SELECT k FROM n WHERE ln(0 - 1) IS NULL`)
+		if len(res.Rows) != 2 {
+			t.Fatalf("ln(-1) IS NULL kept %d rows, want 2", len(res.Rows))
+		}
+	})
+}

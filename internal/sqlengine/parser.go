@@ -257,6 +257,10 @@ func (p *sqlParser) parseDelete() (stmt, error) {
 func (p *sqlParser) parseSelect() (stmt, error) {
 	p.pos++ // select
 	s := &selectStmt{}
+	if p.isKw("distinct") {
+		p.pos++
+		s.distinct = true
+	}
 	for {
 		if p.isSymbol("*") {
 			p.pos++
@@ -467,6 +471,18 @@ func (p *sqlParser) parseComparison() (expr, error) {
 	x, err := p.parseAdditive()
 	if err != nil {
 		return nil, err
+	}
+	if p.isKw("is") {
+		p.pos++
+		not := false
+		if p.isKw("not") {
+			p.pos++
+			not = true
+		}
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return &isNullExpr{x: x, not: not}, nil
 	}
 	if p.cur().kind == tSymbol {
 		switch p.cur().text {

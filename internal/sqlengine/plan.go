@@ -1,0 +1,424 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file defines the logical plan the vectorized executor runs:
+// SELECT statements lower to a small tree of relational operators
+// (Scan / Filter / Project / Join / GroupBy / Sort / Distinct), the
+// analyzer (analyzer.go) rewrites the tree to a fixed point, and the
+// executor (exec.go) evaluates it over columnar batches.
+
+// planCol is one output column of a plan node: the table alias it is
+// visible under (empty for derived columns), its name and its type.
+type planCol struct {
+	qual string
+	name string
+	typ  ColType
+}
+
+// resolvePlanCol finds a column reference in a node's output schema with
+// the same rules as scope.resolve: a qualified reference matches its
+// alias only, an unqualified one must be unambiguous.
+func resolvePlanCol(cols []planCol, qual, name string) (int, error) {
+	found := -1
+	for i, c := range cols {
+		if qual != "" && c.qual != qual {
+			continue
+		}
+		if c.name != name {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %s", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, fmt.Errorf("sql: unknown column %s.%s", qual, name)
+		}
+		return 0, fmt.Errorf("sql: unknown column %s", name)
+	}
+	return found, nil
+}
+
+// planNode is a logical plan operator.
+type planNode interface {
+	// cols returns the node's output schema.
+	cols() []planCol
+	// describe returns the operator name used in spans, metrics and
+	// plan rendering.
+	describe() string
+}
+
+// scanNode reads a materialized table (base table, view result or
+// tabular-function result) under an alias. proj, when non-nil, restricts
+// the emitted columns (set by the prune_columns analyzer rule).
+type scanNode struct {
+	table *Table
+	alias string
+	proj  []int // table column indices to emit; nil = all
+	out   []planCol
+}
+
+func newScanNode(t *Table, alias string) *scanNode {
+	s := &scanNode{table: t, alias: alias}
+	s.rebuildCols()
+	return s
+}
+
+func (s *scanNode) rebuildCols() {
+	s.out = s.out[:0]
+	if s.proj == nil {
+		for _, c := range s.table.Cols {
+			s.out = append(s.out, planCol{qual: s.alias, name: c.Name, typ: c.Type})
+		}
+		return
+	}
+	for _, j := range s.proj {
+		c := s.table.Cols[j]
+		s.out = append(s.out, planCol{qual: s.alias, name: c.Name, typ: c.Type})
+	}
+}
+
+func (s *scanNode) cols() []planCol { return s.out }
+func (s *scanNode) describe() string {
+	return fmt.Sprintf("scan(%s as %s)", s.table.Name, s.alias)
+}
+
+// filterNode keeps rows whose condition evaluates to TRUE (NULL and
+// FALSE both drop the row, SQL's WHERE semantics).
+type filterNode struct {
+	child planNode
+	cond  expr
+	ccond compiledExpr // set by compile_exprs
+}
+
+func (f *filterNode) cols() []planCol  { return f.child.cols() }
+func (f *filterNode) describe() string { return "filter(" + exprString(f.cond) + ")" }
+
+// multiJoinNode is the pre-analysis join: the unordered FROM items plus
+// the WHERE conjuncts. The reorder_joins analyzer rule replaces it with
+// a left-deep joinNode tree (plus a residual filterNode).
+type multiJoinNode struct {
+	items     []planNode
+	conjuncts []expr
+	out       []planCol
+}
+
+func (m *multiJoinNode) cols() []planCol {
+	if m.out == nil {
+		for _, it := range m.items {
+			m.out = append(m.out, it.cols()...)
+		}
+	}
+	return m.out
+}
+func (m *multiJoinNode) describe() string { return fmt.Sprintf("multijoin(%d items)", len(m.items)) }
+
+// joinNode joins two inputs. With keys it is a hash join (build on the
+// right, probe from the left; NULL keys never match); without keys it is
+// a nested cross product.
+type joinNode struct {
+	left, right         planNode
+	leftKeys, rightKeys []expr
+	ckLeft, ckRight     []compiledExpr // set by compile_exprs
+	out                 []planCol
+
+	// outCols, set by prune_columns, restricts the join's output to the
+	// listed indexes of the left+right concatenation. Join keys are
+	// evaluated on the input batches, so key columns nothing above the
+	// join reads never enter the output gather.
+	outCols []int
+}
+
+func (j *joinNode) cols() []planCol {
+	if j.out == nil {
+		full := append(append([]planCol(nil), j.left.cols()...), j.right.cols()...)
+		if j.outCols == nil {
+			j.out = full
+		} else {
+			for _, i := range j.outCols {
+				j.out = append(j.out, full[i])
+			}
+		}
+	}
+	return j.out
+}
+func (j *joinNode) describe() string {
+	if len(j.leftKeys) == 0 {
+		return "crossjoin"
+	}
+	keys := make([]string, len(j.leftKeys))
+	for i := range j.leftKeys {
+		keys[i] = exprString(j.leftKeys[i]) + "=" + exprString(j.rightKeys[i])
+	}
+	return "hashjoin(" + strings.Join(keys, ", ") + ")"
+}
+
+// projectNode computes the SELECT output columns. Rows with a NULL
+// output are dropped, matching the cube semantics of partial functions.
+type projectNode struct {
+	child    planNode
+	exprs    []selectExpr
+	out      []planCol
+	compiled []compiledExpr // set by compile_exprs
+}
+
+func (p *projectNode) cols() []planCol { return p.out }
+func (p *projectNode) describe() string {
+	return fmt.Sprintf("project(%d exprs)", len(p.exprs))
+}
+
+// groupNode is hash aggregation: it groups its input by the GROUP BY
+// keys (rows with a NULL key are skipped) and evaluates the SELECT
+// expressions per group, with aggregate calls consuming the group's bag.
+// Like projectNode it drops rows with NULL outputs. A query with
+// aggregates but no GROUP BY forms one global group; over zero input
+// rows that group still exists, where COUNT yields 0 and every other
+// aggregate yields NULL.
+type groupNode struct {
+	child   planNode
+	groupBy []expr
+	exprs   []selectExpr
+	out     []planCol
+
+	// Set by compile_exprs:
+	ckKeys []compiledExpr
+	aggs   []aggSpec
+	finals []compiledExpr // compiled over child cols + one pseudo-column per agg
+}
+
+// aggSpec is one distinct aggregate call appearing in the SELECT list.
+type aggSpec struct {
+	name string
+	star bool
+	arg  expr // nil for COUNT(*)
+	carg compiledExpr
+}
+
+func (g *groupNode) cols() []planCol { return g.out }
+func (g *groupNode) describe() string {
+	return fmt.Sprintf("groupby(%d keys, %d aggs)", len(g.groupBy), len(g.aggs))
+}
+
+// distinctNode removes duplicate output rows (SELECT DISTINCT).
+type distinctNode struct {
+	child planNode
+}
+
+func (d *distinctNode) cols() []planCol  { return d.child.cols() }
+func (d *distinctNode) describe() string { return "distinct" }
+
+// sortNode orders the output. by holds output ordinals (ORDER BY); a nil
+// by sorts by all columns left to right, the engine's deterministic
+// default. Either way remaining columns break ties, and NULLs sort last
+// (compareNullsLast), so the output order is a pure function of the
+// result set.
+type sortNode struct {
+	child planNode
+	by    []int
+}
+
+func (s *sortNode) cols() []planCol { return s.child.cols() }
+func (s *sortNode) describe() string {
+	if s.by == nil {
+		return "sort(all)"
+	}
+	return fmt.Sprintf("sort(%v)", s.by)
+}
+
+// planChildren returns a node's inputs (for tree walks).
+func planChildren(n planNode) []planNode {
+	switch n := n.(type) {
+	case *scanNode:
+		return nil
+	case *filterNode:
+		return []planNode{n.child}
+	case *multiJoinNode:
+		return n.items
+	case *joinNode:
+		return []planNode{n.left, n.right}
+	case *projectNode:
+		return []planNode{n.child}
+	case *groupNode:
+		return []planNode{n.child}
+	case *distinctNode:
+		return []planNode{n.child}
+	case *sortNode:
+		return []planNode{n.child}
+	default:
+		return nil
+	}
+}
+
+// renderPlan prints the plan tree (EXPLAIN-style, used in tests and
+// trace attributes).
+func renderPlan(n planNode) string {
+	var b strings.Builder
+	var walk func(n planNode, depth int)
+	walk = func(n planNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.describe())
+		b.WriteByte('\n')
+		for _, c := range planChildren(n) {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// buildPlan lowers a validated SELECT into the initial logical plan:
+// scans under a multi-join carrying the WHERE conjuncts, then grouping
+// or projection, then DISTINCT, then the sort. exprs is the star-expanded
+// SELECT list; sc is the scope the statement was validated against.
+func (db *DB) buildPlan(s *selectStmt, sc *scope, exprs []selectExpr, names []string, types []ColType) (planNode, error) {
+	items := make([]planNode, len(sc.tables))
+	for i := range sc.tables {
+		items[i] = newScanNode(sc.tables[i], sc.aliases[i])
+	}
+	var node planNode = &multiJoinNode{items: items, conjuncts: splitAnd(s.where)}
+
+	outCols := make([]planCol, len(exprs))
+	for i := range exprs {
+		outCols[i] = planCol{name: names[i], typ: types[i]}
+	}
+
+	grouping := len(s.groupBy) > 0
+	for _, se := range exprs {
+		if hasAggregate(se.e) {
+			grouping = true
+		}
+	}
+	if grouping {
+		node = &groupNode{child: node, groupBy: s.groupBy, exprs: exprs, out: outCols}
+	} else {
+		node = &projectNode{child: node, exprs: exprs, out: outCols}
+	}
+	if s.distinct {
+		node = &distinctNode{child: node}
+	}
+
+	var by []int
+	if len(s.orderBy) > 0 {
+		idx, err := orderByIndexes(s, names)
+		if err != nil {
+			return nil, err
+		}
+		by = idx
+	}
+	return &sortNode{child: node, by: by}, nil
+}
+
+// orderByIndexes resolves ORDER BY expressions (output column names
+// only, as in the legacy path) to output ordinals.
+func orderByIndexes(s *selectStmt, names []string) ([]int, error) {
+	idx := make([]int, len(s.orderBy))
+	for i, oe := range s.orderBy {
+		cr, ok := oe.(*colRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: ORDER BY supports output column names only")
+		}
+		j := -1
+		for k, n := range names {
+			if n == cr.name {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			return nil, fmt.Errorf("sql: ORDER BY column %s not in output", cr.name)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// exprString renders an expression canonically; it keys aggregate
+// deduplication and labels plan operators.
+func exprString(e expr) string {
+	switch e := e.(type) {
+	case nil:
+		return "true"
+	case *lit:
+		if !e.v.IsValid() {
+			return "NULL"
+		}
+		return e.v.String()
+	case *colRef:
+		if e.qual != "" {
+			return e.qual + "." + e.name
+		}
+		return e.name
+	case *binExpr:
+		return "(" + exprString(e.l) + " " + e.op + " " + exprString(e.r) + ")"
+	case *unaryExpr:
+		return "(" + e.op + " " + exprString(e.x) + ")"
+	case *callExpr:
+		if e.star {
+			return e.name + "(*)"
+		}
+		args := make([]string, len(e.args))
+		for i, a := range e.args {
+			args[i] = exprString(a)
+		}
+		return e.name + "(" + strings.Join(args, ", ") + ")"
+	case *isNullExpr:
+		if e.not {
+			return "(" + exprString(e.x) + " is not null)"
+		}
+		return "(" + exprString(e.x) + " is null)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// exprColRefs collects every (qual, name) reference in an expression,
+// resolving unqualified names to their owning alias via the scope (the
+// same attribution exprAliases uses).
+func exprColRefs(e expr, sc *scope, out map[[2]string]bool) {
+	switch e := e.(type) {
+	case *colRef:
+		if e.qual != "" {
+			out[[2]string{e.qual, e.name}] = true
+			return
+		}
+		for i, t := range sc.tables {
+			if t.ColIndex(e.name) >= 0 {
+				out[[2]string{sc.aliases[i], e.name}] = true
+			}
+		}
+	case *binExpr:
+		exprColRefs(e.l, sc, out)
+		exprColRefs(e.r, sc, out)
+	case *unaryExpr:
+		exprColRefs(e.x, sc, out)
+	case *callExpr:
+		for _, a := range e.args {
+			exprColRefs(a, sc, out)
+		}
+	case *isNullExpr:
+		exprColRefs(e.x, sc, out)
+	}
+}
+
+// sortedRefs returns the references in deterministic order (analyzer
+// decisions must not depend on map iteration).
+func sortedRefs(refs map[[2]string]bool) [][2]string {
+	out := make([][2]string, 0, len(refs))
+	for r := range refs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,250 @@
+package sqlengine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"exlengine/internal/model"
+)
+
+// parityDB builds a small panel-and-rates fixture exercising joins,
+// period arithmetic, grouping and views.
+func parityDB(t *testing.T, mode ExecMode) *DB {
+	t.Helper()
+	db := NewDB()
+	db.SetExecMode(mode)
+	mustExec(t, db, `
+CREATE TABLE PDR (d MONTH, r VARCHAR, v DOUBLE);
+CREATE TABLE RATE (q QUARTER, r VARCHAR, x DOUBLE);
+`)
+	for y := 2000; y < 2003; y++ {
+		for m := 1; m <= 12; m++ {
+			for _, r := range []string{"north", "south", "west"} {
+				mv := float64(y-2000)*12 + float64(m) + float64(len(r))
+				mustExec(t, db, insertMonthly("PDR", y, m, r, mv))
+			}
+		}
+		for q := 1; q <= 4; q++ {
+			for _, r := range []string{"north", "south", "west"} {
+				mustExec(t, db, insertQuarterly("RATE", y, q, r, float64(q)+float64(len(r))/10))
+			}
+		}
+	}
+	mustExec(t, db, `CREATE VIEW PQ AS SELECT quarter(d) AS q, r, avg(v) AS a FROM PDR GROUP BY quarter(d), r`)
+	return db
+}
+
+func insertMonthly(table string, y, m int, r string, v float64) string {
+	p := model.NewMonthly(y, time.Month(m))
+	return "INSERT INTO " + table + " VALUES ('" + p.String() + "', '" + r + "', " + model.Num(v).String() + ")"
+}
+
+func insertQuarterly(table string, y, q int, r string, v float64) string {
+	p := model.NewQuarterly(y, q)
+	return "INSERT INTO " + table + " VALUES ('" + p.String() + "', '" + r + "', " + model.Num(v).String() + ")"
+}
+
+// parityQueries is the cross-executor suite: each query must produce an
+// identical table (schema, rows, order) under both executors.
+var parityQueries = []string{
+	`SELECT * FROM PDR`,
+	`SELECT r, v FROM PDR WHERE v > 20`,
+	`SELECT d, v * 2 AS w FROM PDR WHERE r = 'north'`,
+	`SELECT quarter(d) AS q, sum(v) AS s FROM PDR GROUP BY quarter(d)`,
+	`SELECT r, count(*) AS n, avg(v) AS a FROM PDR GROUP BY r`,
+	`SELECT p.r AS r, p.v AS v, t.x AS x FROM PDR p, RATE t WHERE quarter(p.d) = t.q AND p.r = t.r`,
+	`SELECT p.r AS r, sum(p.v * t.x) AS s FROM PDR p, RATE t WHERE quarter(p.d) = t.q AND p.r = t.r GROUP BY p.r`,
+	`SELECT a.q AS q, a.a AS cur, b.a AS prev FROM PQ a, PQ b WHERE a.r = b.r AND a.q = b.q - 1`,
+	`SELECT DISTINCT r FROM PDR`,
+	`SELECT DISTINCT quarter(d) AS q FROM PDR ORDER BY q`,
+	`SELECT q, a FROM PQ WHERE a IS NOT NULL ORDER BY a`,
+	`SELECT year(d) AS y, min(v) AS lo, max(v) AS hi FROM PDR GROUP BY year(d) ORDER BY y`,
+	`SELECT r FROM PDR WHERE v > 10 AND (r = 'north' OR r = 'west')`,
+	`SELECT t.r AS r, count(p.v) AS n FROM RATE t, PDR p WHERE t.r = p.r AND t.q = quarter(p.d) GROUP BY t.r`,
+	`SELECT count(*) AS n FROM PDR WHERE v < 0`,
+}
+
+// TestExecutorParity runs the suite through the legacy tree-walker and
+// the vectorized executor and requires byte-identical results. With
+// full-row deterministic ordering, any divergence is a semantics bug,
+// not an ordering artifact.
+func TestExecutorParity(t *testing.T) {
+	legacy := parityDB(t, ExecLegacy)
+	vector := parityDB(t, ExecVector)
+	for _, q := range parityQueries {
+		lt := mustQuery(t, legacy, q)
+		vt := mustQuery(t, vector, q)
+		if ls, vs := lt.String(), vt.String(); ls != vs {
+			t.Errorf("executors disagree on %q:\nlegacy:\n%s\nvector:\n%s", q, ls, vs)
+		}
+	}
+}
+
+// TestOrderByNullsLast pins the single NULL placement rule: NULLS LAST,
+// in both executors, for ORDER BY keys and for the default all-column
+// sort — and full-column tie-breaking makes the order independent of
+// input row order.
+func TestOrderByNullsLast(t *testing.T) {
+	forBothExecs(t, func(t *testing.T, mode ExecMode) {
+		mk := func(reverse bool) *DB {
+			db := NewDB()
+			db.SetExecMode(mode)
+			rows := [][]model.Value{
+				{model.Str("a"), model.Num(2)},
+				{model.Str("b"), {}},
+				{model.Str("c"), model.Num(1)},
+				{model.Str("d"), {}},
+			}
+			if reverse {
+				for i, j := 0, len(rows)-1; i < j; i, j = i+1, j-1 {
+					rows[i], rows[j] = rows[j], rows[i]
+				}
+			}
+			db.tables["n"] = &Table{
+				Name: "n",
+				Cols: []Column{
+					{Name: "k", Type: ColType{Kind: KVarchar}},
+					{Name: "v", Type: ColType{Kind: KDouble}},
+				},
+				Rows: rows,
+			}
+			return db
+		}
+
+		// NULL v cannot reach SELECT output (the row would drop), so order
+		// the base table itself via a view-free projection of k only after
+		// sorting by v: use IS NULL to keep NULL rows observable.
+		q := `SELECT k, v IS NULL AS missing FROM n ORDER BY missing`
+		a := mustQuery(t, mk(false), q)
+		b := mustQuery(t, mk(true), q)
+		if a.String() != b.String() {
+			t.Fatalf("order depends on input row order:\n%s\nvs\n%s", a.String(), b.String())
+		}
+
+		// Direct check of the shared sort: NULLs land last, and the two
+		// NULL rows tie-break on the remaining column (b before d).
+		tbl := mk(false).tables["n"]
+		sortRowsBy(tbl.Rows, 2, []int{1})
+		if !tbl.Rows[0][1].IsValid() || !tbl.Rows[1][1].IsValid() {
+			t.Fatalf("NULL sorted before values: %v", tbl.Rows)
+		}
+		if tbl.Rows[2][1].IsValid() || tbl.Rows[3][1].IsValid() {
+			t.Fatalf("values sorted after NULLs: %v", tbl.Rows)
+		}
+		if k2, _ := tbl.Rows[2][0].AsString(); k2 != "b" {
+			t.Fatalf("NULL-row tie-break: got %v, want b before d", tbl.Rows[2][0])
+		}
+	})
+}
+
+// TestViewDiamondEvaluatesOnce is the regression test for exponential
+// view re-evaluation: with a diamond-shaped view graph (TOP references
+// MID1 and MID2, both referencing BASE), BASE used to be evaluated once
+// per reference — 2^depth times in a deep diamond. The per-statement
+// resolver memo must evaluate each view exactly once per statement.
+func TestViewDiamondEvaluatesOnce(t *testing.T) {
+	forBothExecs(t, func(t *testing.T, mode ExecMode) {
+		db := NewDB()
+		db.SetExecMode(mode)
+		calls := 0
+		db.RegisterTabular("probe", func(args []*Table, params []float64) (*Table, error) {
+			calls++
+			return &Table{
+				Name: "probe",
+				Cols: []Column{{Name: "v", Type: ColType{Kind: KDouble}}},
+				Rows: [][]model.Value{{model.Num(1)}, {model.Num(2)}},
+			}, nil
+		})
+		mustExec(t, db, `
+CREATE TABLE SEED (v DOUBLE);
+CREATE VIEW BASE AS SELECT v FROM PROBE(SEED);
+CREATE VIEW MID1 AS SELECT v * 2 AS v FROM BASE;
+CREATE VIEW MID2 AS SELECT v * 3 AS v FROM BASE;
+CREATE VIEW TOP AS SELECT a.v AS x, b.v AS y FROM MID1 a, MID2 b WHERE a.v = a.v`)
+
+		res := mustQuery(t, db, `SELECT x, y FROM TOP`)
+		if len(res.Rows) != 4 {
+			t.Fatalf("TOP rows = %d, want 4", len(res.Rows))
+		}
+		if calls != 1 {
+			t.Fatalf("BASE evaluated %d times in one statement, want 1 (memoized)", calls)
+		}
+
+		// A second statement re-evaluates (views see fresh data).
+		mustQuery(t, db, `SELECT x FROM TOP`)
+		if calls != 2 {
+			t.Fatalf("BASE evaluated %d times across two statements, want 2", calls)
+		}
+	})
+}
+
+// TestAnalyzerPlanShape pins what the analyzer rules actually do to a
+// representative join-aggregate query: filters pushed below the join,
+// the smaller (filtered) side chosen as hash-join build input, scans
+// pruned to live columns.
+func TestAnalyzerPlanShape(t *testing.T) {
+	db := parityDB(t, ExecVector)
+	stmts, err := parseScript(`SELECT p.r AS r, sum(p.v * t.x) AS s FROM PDR p, RATE t WHERE quarter(p.d) = t.q AND p.r = t.r AND t.x > 1 GROUP BY p.r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmts[0].(*selectStmt)
+	r := db.newResolver(context.Background())
+	p, err := db.prepareSelect(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.buildPlan(s, p.sc, p.exprs, p.names, p.types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = db.analyze(context.Background(), plan, p.sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := renderPlan(plan)
+	if strings.Contains(rendered, "multijoin") {
+		t.Fatalf("multi-join survived analysis:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "hashjoin") {
+		t.Fatalf("no hash join in plan:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "filter((t.x > 1))") {
+		t.Fatalf("single-table filter not pushed down:\n%s", rendered)
+	}
+	// PDR has columns d, r, v — all referenced; RATE has q, r, x — all
+	// referenced too. Re-check pruning with a narrow query instead.
+	stmts, _ = parseScript(`SELECT r FROM PDR`)
+	s = stmts[0].(*selectStmt)
+	p, err = db.prepareSelect(s, db.newResolver(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = db.buildPlan(s, p.sc, p.exprs, p.names, p.types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = db.analyze(context.Background(), plan, p.sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan *scanNode
+	var find func(n planNode)
+	find = func(n planNode) {
+		if sn, ok := n.(*scanNode); ok {
+			scan = sn
+		}
+		for _, c := range planChildren(n) {
+			find(c)
+		}
+	}
+	find(plan)
+	if scan == nil {
+		t.Fatal("no scan in plan")
+	}
+	if len(scan.proj) != 1 {
+		t.Fatalf("scan not pruned to 1 column: proj=%v\n%s", scan.proj, renderPlan(plan))
+	}
+}

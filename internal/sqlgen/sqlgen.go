@@ -267,6 +267,25 @@ func joinSelect(t *mapping.Tgd, schemas map[string]model.Schema) (string, []stri
 		return "", nil, err
 	}
 	if t.Kind == mapping.Aggregation {
+		if strings.EqualFold(t.Agg, "count") {
+			// The chase aggregates the bag of *defined* measure points and
+			// emits no output tuple for an all-undefined group. SQL COUNT
+			// would instead report 0 (and NULL-strict expressions would
+			// silently shrink other aggregates' bags to match), so guard
+			// the group input: rows whose measure term is undefined never
+			// enter a group, and empty groups never exist.
+			where = append(where, fmt.Sprintf("%s IS NOT NULL", measure))
+			if len(groupBy) == 0 {
+				// A dimensionless count would otherwise be a global
+				// aggregate, whose synthesized empty group answers 0 where
+				// the chase emits nothing. Grouping by a constant keeps
+				// exactly one group when qualifying rows exist and none
+				// otherwise. Every other aggregate is NULL over an empty
+				// global group and the NULL row is dropped, so only COUNT
+				// needs this.
+				groupBy = append(groupBy, "0")
+			}
+		}
 		measure = fmt.Sprintf("%s(%s)", strings.ToUpper(t.Agg), measure)
 	}
 	selectList = append(selectList, fmt.Sprintf("%s AS %s", measure, strings.ToLower(out.Measure)))

@@ -109,6 +109,34 @@ func TestBlackBoxWithParams(t *testing.T) {
 	}
 }
 
+// TestCountGuard pins the IS NOT NULL guard on count translations: the
+// chase aggregates only defined measure points and emits no tuple for a
+// group that is undefined everywhere, so the SQL translation must keep
+// such rows out of COUNT's input entirely. Other aggregates are
+// NULL-strict and need no guard.
+func TestCountGuard(t *testing.T) {
+	m := compile(t, "cube A(d: day) measure v\nB := count(A, group by quarter(d) as q)")
+	sql, err := TgdSQL(m.TgdFor("B"), m.Schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "C1.v IS NOT NULL") {
+		t.Errorf("count SQL missing measure guard:\n%s", sql)
+	}
+	if !strings.Contains(sql, "COUNT(C1.v)") {
+		t.Errorf("count SQL missing aggregate:\n%s", sql)
+	}
+
+	m = compile(t, "cube A(d: day) measure v\nB := sum(A, group by quarter(d) as q)")
+	sql, err = TgdSQL(m.TgdFor("B"), m.Schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "IS NOT NULL") {
+		t.Errorf("sum SQL has a spurious guard:\n%s", sql)
+	}
+}
+
 // TestSQLMatchesChase is the cross-engine equivalence check: executing the
 // generated SQL on the in-memory engine produces exactly the chase solution
 // for every derived cube, on all three example programs.

@@ -15,6 +15,8 @@ import (
 	"testing"
 	"time"
 
+	"exlengine/internal/dispatch"
+	"exlengine/internal/engine"
 	"exlengine/internal/model"
 	"exlengine/internal/store"
 )
@@ -324,6 +326,24 @@ func TestStaticTokenAuth(t *testing.T) {
 // typed overload errors the server maps to 429 + Retry-After. No request
 // sees a 500.
 func TestOverloadSheds429(t *testing.T) {
+	// Gate fragment execution so the single slot stays provably occupied
+	// while the flood arrives: without the gate the test races run
+	// duration against request arrival, and a fast executor can drain
+	// capacity-1 quickly enough to absorb the whole flood.
+	gate := make(chan struct{})
+	testEngineOptions = []engine.Option{engine.WithDispatchMiddleware(
+		func(next dispatch.Runner) dispatch.Runner {
+			return func(ctx context.Context, fr dispatch.Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return next(ctx, fr, snap)
+			}
+		})}
+	t.Cleanup(func() { testEngineOptions = nil })
+
 	srv, base := newTestServer(t, Config{MaxConcurrent: 1})
 	sid := setupTenant(t, base, "alpha", 1, 2000)
 
@@ -358,6 +378,13 @@ func TestOverloadSheds429(t *testing.T) {
 			}
 		}()
 	}
+	// Open the gate once shedding has been observed (or give up and let
+	// the assertions report): the blocked run and any queued one then
+	// complete normally.
+	for i := 0; shed.Load() == 0 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
 	wg.Wait()
 
 	if other.Load() != 0 {

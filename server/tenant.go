@@ -134,6 +134,12 @@ func (ts *tenantSet) acquire(name string) (*tenant, error) {
 	}
 }
 
+// testEngineOptions is appended to every tenant engine when non-nil.
+// Tests use it to perturb dispatch (e.g. gate fragment execution so
+// overload paths trigger deterministically regardless of how fast the
+// backends run); it is never set in production.
+var testEngineOptions []engine.Option
+
 // open builds the tenant's isolated engine stack; ts.mu held.
 func (ts *tenantSet) open(name string) (*tenant, error) {
 	reg := obs.NewRegistry()
@@ -144,6 +150,7 @@ func (ts *tenantSet) open(name string) (*tenant, error) {
 		// text still never share mappings (or cache-hit metrics).
 		engine.WithCompileCache(engine.NewCompileCache(tenantCompileCacheCap)),
 	}
+	opts = append(opts, testEngineOptions...)
 	if ts.cfg.MaxConcurrent > 0 {
 		opts = append(opts, engine.MaxConcurrentRuns(ts.cfg.MaxConcurrent))
 	}
