@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	exlbench [-run all|e1|e2|...|e13|sqlbench] [-quick] [-workers N]
+//	exlbench [-run all|e1|e2|...|e13|sqlbench|incremental] [-quick] [-workers N]
 //	         [-iters N] [-store dir] [-max-concurrent N] [-mem-budget bytes]
-//	         [-bench-out file]
+//	         [-bench-out file] [-incr-bench-out file]
 package main
 
 import (
@@ -48,6 +48,7 @@ var (
 	workers  int
 	iters    int
 	benchOut string
+	incrOut  string
 	// shared holds the store (-store, used by e12) and governor
 	// (-max-concurrent/-mem-budget, used by e13) flags every EXLEngine
 	// tool exposes through internal/cli.
@@ -60,6 +61,7 @@ func main() {
 	flag.IntVar(&workers, "workers", 8, "e11: max concurrent run loops (sweep is 1..workers, doubling)")
 	flag.IntVar(&iters, "iters", 4, "e11: runs per worker")
 	flag.StringVar(&benchOut, "bench-out", "BENCH_sql.json", "sqlbench: output file for the JSON record")
+	flag.StringVar(&incrOut, "incr-bench-out", "BENCH_incremental.json", "incremental: output file for the JSON record")
 	shared.RegisterStore(flag.CommandLine)
 	shared.RegisterGovernor(flag.CommandLine, 4, 256<<20)
 	flag.Parse()
@@ -83,6 +85,7 @@ func main() {
 		{"e12", "E12: durable store — WAL commit throughput, group commit, recovery time", e12},
 		{"e13", "E13: overload — admission control, shedding and breakers at 2x capacity", e13},
 		{"sqlbench", "E14: SQL executor — vectorized batches vs legacy tree-walker (writes BENCH_sql.json)", e14},
+		{"incremental", "E15: delta-driven incremental recomputation — 1% churn vs full recompute (writes BENCH_incremental.json)", e15},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -825,6 +828,158 @@ func e14() {
 		panic(err)
 	}
 	fmt.Printf("wrote %s\n", benchOut)
+}
+
+// e15 (incremental) measures delta-driven recomputation against a full
+// recompute on a tuple-level pipeline (no black-box operators, so every
+// fragment is maintainable): a quarterly panel feeds a four-statement
+// chain, 1% of the panel's points are perturbed per step, and both
+// engines re-run. The derived cubes must match exactly — byte-identical,
+// zero tolerance — before any number is reported; incremental times
+// include everything a caller sees (staleness walk, store deltas,
+// dispatch, persist). Results go to stdout and -incr-bench-out
+// (BENCH_incremental.json).
+func e15() {
+	sizes := []int{20000, 200000}
+	if quick {
+		sizes = []int{5000, 20000}
+	}
+	const prog = `
+cube S(q: quarter, r: string) measure v
+
+A := S * 2
+B := A + S
+C := B - A
+D := C * 0.5
+`
+	derived := []string{"A", "B", "C", "D"}
+	const regions = 100
+	const steps = 5
+
+	// churn perturbs ~1% of the cube's points, at step-dependent
+	// positions so successive deltas do not hit identical keys.
+	churn := func(c *model.Cube, step int) *model.Cube {
+		out := c.Clone()
+		for i, tu := range c.Tuples() {
+			if (i+step*37)%100 == 7 {
+				if err := out.Replace(tu.Dims, tu.Measure*1.01+0.01); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return out
+	}
+	newEng := func(seed *model.Cube, t0 time.Time) *engine.Engine {
+		e := engine.New()
+		if err := e.RegisterProgram("incrbench", prog); err != nil {
+			panic(err)
+		}
+		if err := e.PutCube(seed, t0); err != nil {
+			panic(err)
+		}
+		return e
+	}
+
+	type entry struct {
+		Workload string  `json:"workload"`
+		Rows     int     `json:"rows"`
+		Steps    int     `json:"steps"`
+		ChurnPct float64 `json:"churn_pct"`
+		FullMS   float64 `json:"full_ms"`
+		IncrMS   float64 `json:"incr_ms"`
+		Speedup  float64 `json:"speedup"`
+	}
+	var entries []entry
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+	ctx := context.Background()
+	fmt.Printf("%-10s %-8s %-12s %-12s %-8s\n", "rows", "steps", "full ms", "incr ms", "speedup")
+	for _, rows := range sizes {
+		quarters := rows / regions
+		sch := model.NewSchema("S",
+			[]model.Dim{{Name: "q", Type: model.TQuarter}, {Name: "r", Type: model.TString}}, "v")
+		seed := model.NewCube(sch)
+		start := model.NewQuarterly(1990, 1)
+		for q := 0; q < quarters; q++ {
+			for r := 0; r < regions; r++ {
+				dims := []model.Value{model.Per(start.Shift(int64(q))), model.Str(fmt.Sprintf("r%02d", r))}
+				if err := seed.Put(dims, float64(q*regions+r)*0.25+1); err != nil {
+					panic(err)
+				}
+			}
+		}
+
+		t0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+		full := newEng(seed, t0)
+		incr := newEng(seed.Clone(), t0)
+		// Both engines run the chase: it is the target whose fragments are
+		// maintainable tuple-by-tuple, so the comparison isolates
+		// semi-naive maintenance from full recomputation on the same
+		// executor.
+		if _, err := full.Run(ctx, engine.RunOn(ops.TargetChase), engine.RunAt(t0)); err != nil {
+			panic(err)
+		}
+		if _, err := incr.Run(ctx, engine.RunOn(ops.TargetChase), engine.RunAt(t0), engine.WithIncremental()); err != nil {
+			panic(err)
+		}
+
+		cur := seed
+		var fullTotal, incrTotal time.Duration
+		for step := 1; step <= steps; step++ {
+			cur = churn(cur, step)
+			at := t0.Add(time.Duration(step) * 24 * time.Hour)
+			if err := full.PutCube(cur, at); err != nil {
+				panic(err)
+			}
+			if err := incr.PutCube(cur.Clone(), at); err != nil {
+				panic(err)
+			}
+			fullStart := time.Now()
+			if _, err := full.Run(ctx, engine.RunOn(ops.TargetChase), engine.RunAt(at)); err != nil {
+				panic(err)
+			}
+			fullTotal += time.Since(fullStart)
+			incrStart := time.Now()
+			rep, err := incr.Run(ctx, engine.RunOn(ops.TargetChase), engine.RunAt(at), engine.WithIncremental())
+			if err != nil {
+				panic(err)
+			}
+			incrTotal += time.Since(incrStart)
+			if !rep.Incremental {
+				panic("incremental: run did not take the incremental path")
+			}
+			for _, rel := range derived {
+				w, _ := full.Cube(rel)
+				g, _ := incr.Cube(rel)
+				if d := model.DiffCubes(rel, w, g); !d.Empty() {
+					panic(fmt.Sprintf("incremental: %s diverges from full at rows=%d step=%d (%d diffs)",
+						rel, rows, step, d.Size()))
+				}
+			}
+		}
+		speedup := float64(fullTotal) / float64(incrTotal)
+		fmt.Printf("%-10d %-8d %-12.2f %-12.2f %-8.2f\n", rows, steps, ms(fullTotal), ms(incrTotal), speedup)
+		entries = append(entries, entry{
+			Workload: "quarterly-panel-chain", Rows: rows, Steps: steps, ChurnPct: 1,
+			FullMS: ms(fullTotal), IncrMS: ms(incrTotal), Speedup: speedup,
+		})
+	}
+	fmt.Println("derived cubes byte-identical between full and incremental (zero tolerance)")
+
+	record := struct {
+		GeneratedBy string  `json:"generated_by"`
+		Quick       bool    `json:"quick"`
+		Entries     []entry `json:"entries"`
+	}{GeneratedBy: "exlbench -run incremental", Quick: quick, Entries: entries}
+	buf, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(incrOut, buf, 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %s\n", incrOut)
 }
 
 func e10() {

@@ -8,7 +8,11 @@
 // Usage:
 //
 //	exlfuzz [-seed 1] [-n 200] [-stmts 6] [-budget 0] [-shrink] [-tol 1e-6]
-//	        [-legacy-sql]
+//	        [-legacy-sql] [-incremental]
+//
+// With -incremental, each case additionally churns its data with a
+// seed-derived perturbation and requires the incremental chase to
+// reproduce the full solution byte for byte (zero tolerance).
 //
 // Exit status: 0 when every case agrees, 1 on any divergence, 2 on an
 // internal failure (a generated case that does not compile, or a chase
@@ -34,6 +38,7 @@ func main() {
 		shrink = flag.Bool("shrink", true, "minimize failing cases before reporting")
 		tol    = flag.Float64("tol", difftest.DefaultTol, "relative measure comparison tolerance")
 		legacy = flag.Bool("legacy-sql", false, "run the sqlengine leg on the legacy tree-walking executor instead of the vectorized one")
+		incr   = flag.Bool("incremental", false, "also diff the incremental chase against the full chase on churned data")
 	)
 	flag.Parse()
 
@@ -51,6 +56,7 @@ func main() {
 	divergent := 0
 	ran := 0
 	sqlSkipped := 0
+	incrRan := 0
 	for i := 0; i < *n && !expired(); i++ {
 		caseSeed := *seed + int64(i)
 		c := difftest.GenerateCase(caseSeed, *stmts)
@@ -80,6 +86,35 @@ func main() {
 		}
 	}
 
+	if *incr {
+		for i := 0; i < *n && !expired(); i++ {
+			caseSeed := *seed + int64(i)
+			churnSeed := caseSeed*1000003 + 1
+			c := difftest.GenerateCase(caseSeed, *stmts)
+			res, err := difftest.RunIncremental(c, churnSeed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exlfuzz: seed %d: incremental internal failure: %v\nprogram:\n%s", caseSeed, err, c.Source())
+				os.Exit(2)
+			}
+			incrRan++
+			if len(res.Divergences) == 0 {
+				continue
+			}
+			divergent++
+			fmt.Printf("INCREMENTAL DIVERGENCE at seed %d churn %d (%d finding(s)):\n", caseSeed, churnSeed, len(res.Divergences))
+			for _, d := range res.Divergences {
+				fmt.Printf("  %s\n", d)
+			}
+			if *shrink {
+				min := difftest.Shrink(c, difftest.IncrDiverges(churnSeed))
+				fmt.Printf("minimized reproduction (commit under internal/difftest/testdata/known/ if not fixing now):\n%s\n",
+					difftest.FormatKnownCase(fmt.Sprintf("found by exlfuzz -incremental -seed %d -stmts %d (churn %d)", caseSeed, *stmts, churnSeed), min))
+			} else {
+				fmt.Printf("reproduction:\n%s%s\n", c.Source(), c.DataCSV())
+			}
+		}
+	}
+
 	exprDivs, err := difftest.FuzzNullExprs(*seed, *n)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exlfuzz: NULL-semantics fuzz: %v\n", err)
@@ -90,8 +125,8 @@ func main() {
 	}
 	divergent += len(exprDivs)
 
-	fmt.Printf("exlfuzz: %d programs (sql skipped on %d pad-operator cases), %d NULL-semantics expressions, %d divergence(s), %s\n",
-		ran, sqlSkipped, *n, divergent, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("exlfuzz: %d programs (sql skipped on %d pad-operator cases), %d incremental parity runs, %d NULL-semantics expressions, %d divergence(s), %s\n",
+		ran, sqlSkipped, incrRan, *n, divergent, time.Since(start).Round(time.Millisecond))
 	if divergent > 0 {
 		os.Exit(1)
 	}

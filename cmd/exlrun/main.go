@@ -6,7 +6,14 @@
 //	exlrun -program program.exl -data dir [-target auto|chase|sql|etl|frame]
 //	       [-out dir] [-store dir] [-report] [-trace[=json]] [-metrics]
 //	       [-timeout d] [-fragment-timeout d] [-retries n] [-no-fallback]
-//	       [-max-concurrent n] [-mem-budget bytes]
+//	       [-max-concurrent n] [-mem-budget bytes] [-incremental]
+//
+// Runs can be delta-driven: with -incremental, a cube whose inputs have
+// not changed since it was last computed (same engine process, e.g. with
+// -store across invocations within one process embedding) is skipped
+// outright, and a changed input propagates through the mappings as a
+// tuple-level delta wherever the operators allow, recomputing only the
+// affected output points. Results are byte-identical to a full run.
 //
 // The data directory must contain one <CUBE>.csv file per elementary cube,
 // with a header naming the dimensions (in declaration order) followed by
@@ -70,6 +77,7 @@ func main() {
 	fragTimeout := flag.Duration("fragment-timeout", 0, "per-fragment attempt timeout (0 = none)")
 	retries := flag.Int("retries", dispatch.DefaultRetry.MaxAttempts, "attempts per target for transient failures")
 	noFallback := flag.Bool("no-fallback", false, "disable degradation to fallback targets")
+	incremental := flag.Bool("incremental", false, "delta-driven recomputation: skip current cubes, maintain the rest from input deltas")
 	shared := cli.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -148,6 +156,9 @@ func main() {
 	if *target != "auto" {
 		runOpts = append(runOpts, engine.RunOn(ops.Target(*target)))
 	}
+	if *incremental {
+		runOpts = append(runOpts, engine.WithIncremental())
+	}
 	rep, err := eng.Run(ctx, runOpts...)
 
 	// Diagnostics go out even when the run failed: the trace and the
@@ -158,6 +169,9 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "plan: %v\n", rep.Plan)
+		if rep.Incremental {
+			fmt.Fprintf(os.Stderr, "incremental: %d cube(s) skipped as current: %v\n", len(rep.Skipped), rep.Skipped)
+		}
 		for _, s := range rep.Subgraphs {
 			fmt.Fprintf(os.Stderr, "  %-6s %v\n", s.Target, s.Cubes)
 		}

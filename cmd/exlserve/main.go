@@ -3,7 +3,12 @@
 // Usage:
 //
 //	exlserve [-addr :8080] [-data-dir DIR] [-max-concurrent N]
-//	         [-mem-budget BYTES] [-session-idle-timeout DUR]
+//	         [-mem-budget BYTES] [-session-idle-timeout DUR] [-incremental]
+//
+// -incremental makes every run delta-driven by default: only cubes whose
+// inputs changed since their last computation are recomputed, from store
+// deltas where the mappings allow it, with byte-identical results.
+// Individual requests can also opt in per run with "incremental": true.
 //
 // With -data-dir every tenant is durable: its cube store lives under
 // DIR/<tenant> (write-ahead log + segment snapshots) and survives idle
@@ -41,6 +46,7 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable tenant root (state lives under DIR/<tenant>); empty = in-memory tenants")
 		idleTimeout = flag.Duration("session-idle-timeout", 5*time.Minute, "evict sessions idle this long")
 		authTokens  = flag.String("auth-tokens", "", "comma-separated token=tenant pairs (tenant * = any); empty allows all")
+		incremental = flag.Bool("incremental", false, "delta-driven recomputation by default: runs recompute only stale cubes, byte-identical to full runs")
 	)
 	shared := &cli.Flags{}
 	shared.RegisterGovernor(flag.CommandLine, 0, 0)
@@ -52,6 +58,7 @@ func main() {
 		MaxConcurrent:      shared.MaxConcurrent,
 		MemBudget:          shared.MemBudget,
 		SessionIdleTimeout: *idleTimeout,
+		Incremental:        *incremental,
 	}
 	if *authTokens != "" {
 		auth, err := parseTokens(*authTokens)

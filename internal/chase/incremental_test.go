@@ -1,0 +1,218 @@
+package chase
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"exlengine/internal/model"
+	"exlengine/internal/workload"
+)
+
+// mutate returns a copy of src with a deterministic mix of value
+// changes, deletions and insertions applied to the named cube.
+func mutate(t *testing.T, src Instance, name string, seed int64) Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Instance, len(src))
+	for k, c := range src {
+		out[k] = c.Clone()
+	}
+	c := out[name]
+	tuples := c.Tuples()
+	if len(tuples) == 0 {
+		t.Fatalf("cube %s empty", name)
+	}
+	for i, tu := range tuples {
+		switch {
+		case i%17 == 3: // value change
+			if err := c.Replace(tu.Dims, tu.Measure*1.05+0.1); err != nil {
+				t.Fatal(err)
+			}
+		case i%23 == 7: // deletion
+			c.Delete(tu.Dims)
+		}
+	}
+	// A few inserts at shifted coordinates that don't collide: reuse an
+	// existing tuple's dims is impossible, so perturb the measure of a
+	// random existing point instead when dims are not synthesizable.
+	for i := 0; i < 3; i++ {
+		tu := tuples[rng.Intn(len(tuples))]
+		if err := c.Replace(tu.Dims, tu.Measure+float64(i)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// runIncr runs the full chase on base and cur, then the incremental
+// chase on cur seeded from the base outputs, and requires exact
+// (bit-for-bit) agreement with the full run on cur.
+func runIncr(t *testing.T, src string, base, cur Instance) *IncrStats {
+	t.Helper()
+	m := compile(t, src)
+	s := New(m)
+	baseOut, err := s.Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Solve(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &DeltaInput{
+		Deltas:  make(map[string]*model.CubeDelta),
+		BaseOut: make(map[string]*model.Cube),
+	}
+	for _, name := range m.Elementary {
+		in.Deltas[name] = model.DiffCubes(name, base[name], cur[name])
+	}
+	for name, c := range baseOut {
+		in.BaseOut[name] = c.Freeze()
+	}
+	got, _, stats, err := s.SolveIncremental(context.Background(), cur, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("incremental output missing %s", name)
+		}
+		if lines := exactDiff(w, g); len(lines) > 0 {
+			t.Errorf("cube %s diverges:\n  %s", name, lines[0])
+		}
+	}
+	return stats
+}
+
+// exactDiff reports tuple-level differences with zero tolerance.
+func exactDiff(want, got *model.Cube) []string {
+	d := model.DiffCubes("", want, got)
+	var out []string
+	for _, tu := range d.Added {
+		out = append(out, "extra: "+tu.Dims[0].String())
+	}
+	for range d.Changed {
+		out = append(out, "changed measure")
+	}
+	for range d.Deleted {
+		out = append(out, "missing tuple")
+	}
+	return out
+}
+
+func TestIncrementalGDPChurnExact(t *testing.T) {
+	base := Instance(workload.GDPSource(workload.GDPConfig{Days: 120, Regions: 3, Seed: 1}))
+	cur := mutate(t, base, "PDR", 7)
+	stats := runIncr(t, workload.GDPProgram, base, cur)
+	if stats.Incremental == 0 {
+		t.Errorf("expected some incremental tgds, got %+v", stats)
+	}
+	// The GDP program ends in black boxes (stl_t) which always recompute
+	// in full; the upstream aggregation and arithmetic must not.
+	if stats.Skipped+stats.Incremental == 0 || stats.Tgds == 0 {
+		t.Errorf("suspicious stats: %+v", stats)
+	}
+}
+
+func TestIncrementalNoChangeSkipsEverything(t *testing.T) {
+	src := Instance(workload.GDPSource(workload.GDPConfig{Days: 60, Regions: 2, Seed: 2}))
+	stats := runIncr(t, workload.GDPProgram, src, src)
+	if stats.Full != 0 || stats.Incremental != 0 {
+		t.Errorf("no-op run should only skip: %+v", stats)
+	}
+	if stats.Skipped != stats.Tgds {
+		t.Errorf("want all %d tgds skipped, got %+v", stats.Tgds, stats)
+	}
+}
+
+func TestIncrementalSupervision(t *testing.T) {
+	base := Instance(workload.SupervisionSource(5, 12, 3))
+	cur := mutate(t, base, "ASSETS", 11)
+	runIncr(t, workload.SupervisionProgram, base, cur)
+}
+
+func TestIncrementalDeletionRetracts(t *testing.T) {
+	base := Instance(workload.GDPSource(workload.GDPConfig{Days: 40, Regions: 2, Seed: 4}))
+	cur := make(Instance, len(base))
+	for k, c := range base {
+		cur[k] = c.Clone()
+	}
+	// Delete every tuple of one region: downstream per-region points must
+	// be retracted, not left stale.
+	for _, tu := range cur["RGDPPC"].Tuples() {
+		if tu.Dims[len(tu.Dims)-1].String() == workload.RegionName(0) {
+			cur["RGDPPC"].Delete(tu.Dims)
+		}
+	}
+	runIncr(t, workload.GDPProgram, base, cur)
+}
+
+func TestIncrementalNormalizedMappingFallsBackSafely(t *testing.T) {
+	base := Instance(workload.GDPSource(workload.GDPConfig{Days: 60, Regions: 2, Seed: 5}))
+	cur := mutate(t, base, "PDR", 13)
+	m := compileNormalized(t, workload.GDPProgram)
+	s := New(m)
+	baseOut, err := s.Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Solve(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &DeltaInput{Deltas: map[string]*model.CubeDelta{}, BaseOut: map[string]*model.Cube{}}
+	for _, name := range m.Elementary {
+		in.Deltas[name] = model.DiffCubes(name, base[name], cur[name])
+	}
+	for name, c := range baseOut {
+		in.BaseOut[name] = c.Freeze()
+	}
+	got, _, _, err := s.SolveIncremental(context.Background(), cur, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		if lines := exactDiff(w, got[name]); len(lines) > 0 {
+			t.Errorf("cube %s diverges: %v", name, lines)
+		}
+	}
+}
+
+func TestIncrementalFullOnlyInputForcesFull(t *testing.T) {
+	base := Instance(workload.GDPSource(workload.GDPConfig{Days: 40, Regions: 2, Seed: 6}))
+	cur := mutate(t, base, "PDR", 17)
+	m := compile(t, workload.GDPProgram)
+	s := New(m)
+	baseOut, err := s.Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Solve(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &DeltaInput{
+		FullOnly: map[string]bool{"PDR": true},
+		BaseOut:  map[string]*model.Cube{},
+	}
+	for name, c := range baseOut {
+		in.BaseOut[name] = c.Freeze()
+	}
+	got, _, stats, err := s.SolveIncremental(context.Background(), cur, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct consumers of the full-only input must recompute in full;
+	// their diffed outputs may legitimately re-enable incremental
+	// maintenance further downstream.
+	if stats.Full == 0 {
+		t.Errorf("full-only input must force full recompute of its consumers: %+v", stats)
+	}
+	for name, w := range want {
+		if lines := exactDiff(w, got[name]); len(lines) > 0 {
+			t.Errorf("cube %s diverges: %v", name, lines)
+		}
+	}
+}

@@ -167,6 +167,11 @@ func (g *Graph) Schemas() map[string]model.Schema { return g.schemas }
 // Derived returns all derived cubes in topological order.
 func (g *Graph) Derived() []string { return append([]string(nil), g.order...) }
 
+// Deps returns the operand cubes a derived cube is calculated from.
+func (g *Graph) Deps(cube string) []string {
+	return append([]string(nil), g.deps[cube]...)
+}
+
 // Def returns the statement deriving the cube.
 func (g *Graph) Def(cube string) (StmtRef, bool) {
 	r, ok := g.defs[cube]

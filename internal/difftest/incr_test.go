@@ -1,0 +1,73 @@
+package difftest
+
+import (
+	"testing"
+
+	"exlengine/internal/model"
+)
+
+// TestIncrementalParity is the in-tree slice of the full-vs-incremental
+// fuzzer: over a batch of random programs, each with a deterministic
+// churn of its data, the incremental chase must reproduce the full
+// solution byte for byte. The exlfuzz CLI (-incremental) runs bigger
+// sweeps.
+func TestIncrementalParity(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		c := GenerateCase(seed, 6)
+		churnSeed := seed*1000003 + 1
+		res, err := RunIncremental(c, churnSeed)
+		if err != nil {
+			t.Fatalf("seed %d: case does not run: %v\nprogram:\n%s", seed, err, c.Source())
+		}
+		if len(res.Divergences) == 0 {
+			continue
+		}
+		min := Shrink(c, IncrDiverges(churnSeed))
+		t.Errorf("seed %d (churn %d): %d divergence(s); first: %s\nminimized:\n%s",
+			seed, churnSeed, len(res.Divergences), res.Divergences[0],
+			FormatKnownCase("from TestIncrementalParity", min))
+	}
+}
+
+// TestChurnBaseDeterministic: the churn is part of the reproduction
+// recipe, so the same seed must derive the identical base instance.
+func TestChurnBaseDeterministic(t *testing.T) {
+	c := GenerateCase(11, 6)
+	a := ChurnBase(c.Data, 99)
+	b := ChurnBase(c.Data, 99)
+	for name := range a {
+		if !a[name].Equal(b[name], 0) {
+			t.Fatalf("churn of %s not deterministic", name)
+		}
+	}
+	other := ChurnBase(c.Data, 100)
+	same := true
+	for name := range a {
+		if !a[name].Equal(other[name], 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different churn seeds produced identical base instances")
+	}
+}
+
+// TestChurnBaseCoversAllDeltaSpecies: across a handful of seeds the
+// derived deltas must include insertions, updates and retractions, so
+// the parity fuzz genuinely exercises the retraction path.
+func TestChurnBaseCoversAllDeltaSpecies(t *testing.T) {
+	var adds, changes, dels int
+	c := GenerateCase(5, 4)
+	for s := int64(0); s < 8; s++ {
+		base := ChurnBase(c.Data, s)
+		for name, cur := range c.Data {
+			d := model.DiffCubes(name, base[name], cur)
+			adds += len(d.Added)
+			changes += len(d.Changed)
+			dels += len(d.Deleted)
+		}
+	}
+	if adds == 0 || changes == 0 || dels == 0 {
+		t.Fatalf("churn species coverage: %d added, %d changed, %d deleted", adds, changes, dels)
+	}
+}

@@ -114,14 +114,16 @@ func (d *Dispatcher) RunContext(ctx context.Context, subs []determine.Subgraph, 
 
 	ctx, span := obs.StartSpan(ctx, "dispatch",
 		obs.Int("fragments", len(subs)), obs.Bool("parallel", d.Parallel))
-	out, rep, err := d.runPlan(ctx, subs, tgds, schemas, snap)
+	out, rep, err := d.runPlan(ctx, subs, tgds, schemas, snap, nil)
 	span.EndErr(err)
 	return out, rep, err
 }
 
-// runPlan is RunContext behind the dispatch span.
+// runPlan is RunContext behind the dispatch span. A non-nil incr puts
+// the run in incremental mode: fragments consume the delta front and
+// publish their outputs' movement back into it.
 func (d *Dispatcher) runPlan(ctx context.Context, subs []determine.Subgraph, tgds TgdSource,
-	schemas map[string]model.Schema, snap map[string]*model.Cube) (map[string]*model.Cube, *Report, error) {
+	schemas map[string]model.Schema, snap map[string]*model.Cube, incr *incrState) (map[string]*model.Cube, *Report, error) {
 
 	start := time.Now()
 	rep := &Report{Fragments: make([]FragmentReport, len(subs))}
@@ -145,7 +147,7 @@ func (d *Dispatcher) runPlan(ctx context.Context, subs []determine.Subgraph, tgd
 
 	if !d.Parallel {
 		for i, f := range frags {
-			out, fr, err := d.runFragment(ctx, i, subs[i], f, work)
+			out, fr, err := d.runFragment(ctx, i, subs[i], f, work, incr)
 			rep.Fragments[i] = fr
 			if err != nil {
 				rep.Elapsed = time.Since(start)
@@ -198,7 +200,7 @@ func (d *Dispatcher) runPlan(ctx context.Context, subs []determine.Subgraph, tgd
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				out, fr, err := d.runFragment(ctx, i, subs[i], f, work)
+				out, fr, err := d.runFragment(ctx, i, subs[i], f, work, incr)
 				mu.Lock()
 				defer mu.Unlock()
 				rep.Fragments[i] = fr
@@ -245,11 +247,11 @@ func (d *Dispatcher) runPlan(ctx context.Context, subs []determine.Subgraph, tgd
 // degradation, recording every attempt in the report, in the span tree
 // and in the metrics registry carried by the context.
 func (d *Dispatcher) runFragment(ctx context.Context, idx int, sub determine.Subgraph,
-	f *fragment, snap map[string]*model.Cube) (map[string]*model.Cube, FragmentReport, error) {
+	f *fragment, snap map[string]*model.Cube, incr *incrState) (map[string]*model.Cube, FragmentReport, error) {
 
 	ctx, span := obs.StartSpan(ctx, "fragment",
 		obs.Int("index", idx), obs.Strings("cubes", f.produces), obs.String("target", string(f.target)))
-	out, fr, err := d.runFragmentAttempts(ctx, idx, sub, f, snap)
+	out, fr, err := d.runFragmentAttempts(ctx, idx, sub, f, snap, incr)
 	if fr.Final != "" {
 		span.SetAttr(obs.String("final", string(fr.Final)))
 	}
@@ -259,7 +261,7 @@ func (d *Dispatcher) runFragment(ctx context.Context, idx int, sub determine.Sub
 
 // runFragmentAttempts is runFragment behind the fragment span.
 func (d *Dispatcher) runFragmentAttempts(ctx context.Context, idx int, sub determine.Subgraph,
-	f *fragment, snap map[string]*model.Cube) (map[string]*model.Cube, FragmentReport, error) {
+	f *fragment, snap map[string]*model.Cube, incr *incrState) (map[string]*model.Cube, FragmentReport, error) {
 
 	start := time.Now()
 	met := obs.MetricsFrom(ctx)
@@ -270,7 +272,11 @@ func (d *Dispatcher) runFragmentAttempts(ctx context.Context, idx int, sub deter
 		targets = append(targets, determine.FallbackOrder(sub)...)
 	}
 
+	var oc incrOutcome
 	runner := Runner(func(ctx context.Context, info Fragment, snap map[string]*model.Cube) (map[string]*model.Cube, error) {
+		if incr != nil {
+			return f.runOnIncr(ctx, info.Target, snap, incr, &oc)
+		}
 		return f.runOn(ctx, info.Target, snap)
 	})
 	for i := len(d.Middleware) - 1; i >= 0; i-- {
@@ -306,6 +312,9 @@ func (d *Dispatcher) runFragmentAttempts(ctx context.Context, idx int, sub deter
 				d.record(target, nil)
 				fr.Attempts = append(fr.Attempts, Attempt{Target: target, Attempt: attempt})
 				fr.Final = target
+				fr.Incremental = oc.incremental
+				fr.FellBackFull = oc.fellBack
+				fr.FallbackReason = oc.reason
 				fr.Elapsed = time.Since(start)
 				met.Counter(obs.Label(obs.MetricFragments, "target", string(target))).Add(1)
 				return out, fr, nil

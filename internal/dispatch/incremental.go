@@ -1,0 +1,405 @@
+// Incremental dispatch: fragments are executed against the deltas of
+// their inputs instead of from scratch. The chase maintains its output
+// per affected point (chase.SolveIncremental); the SQL engine runs
+// INSERT-delta scripts when the fragment's mapping is monotone over the
+// changed relations (sqlgen.TranslateDelta); every other target — and
+// every non-maintainable shape — recomputes in full, which is recorded
+// as FellBackFull in the fragment report. Either way the fragment's
+// produced cubes are diffed against their previous versions, so the
+// delta front keeps propagating to downstream fragments even across a
+// full recompute.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"exlengine/internal/chase"
+	"exlengine/internal/determine"
+	"exlengine/internal/model"
+	"exlengine/internal/obs"
+	"exlengine/internal/ops"
+	"exlengine/internal/sqlengine"
+	"exlengine/internal/sqlgen"
+)
+
+// IncrPlan seeds an incremental dispatch run with what is known about
+// how the inputs moved since the previous run.
+type IncrPlan struct {
+	// Deltas maps changed relations to their tuple-level deltas.
+	// Relations absent from Deltas and FullOnly are unchanged.
+	Deltas map[string]*model.CubeDelta
+	// FullOnly marks relations known to have changed without a usable
+	// delta; fragments reading one recompute in full.
+	FullOnly map[string]bool
+	// Bases holds the previous output version of every derived cube the
+	// plan produces. A fragment whose produced cube has no base here is
+	// recomputed in full and marked FullOnly for its consumers.
+	Bases map[string]*model.Cube
+}
+
+// RunContextIncr is RunContext under an incremental plan: fragments
+// consume the input deltas, reuse or maintain their previous outputs
+// where the mapping shape permits, and fall back to full recomputation
+// where it does not — the results are byte-identical to RunContext
+// either way.
+func (d *Dispatcher) RunContextIncr(ctx context.Context, subs []determine.Subgraph, tgds TgdSource,
+	schemas map[string]model.Schema, snap map[string]*model.Cube, plan *IncrPlan) (map[string]*model.Cube, *Report, error) {
+
+	ctx, span := obs.StartSpan(ctx, "dispatch",
+		obs.Int("fragments", len(subs)), obs.Bool("parallel", d.Parallel), obs.Bool("incremental", true))
+	out, rep, err := d.runPlan(ctx, subs, tgds, schemas, snap, newIncrState(plan))
+	span.EndErr(err)
+	return out, rep, err
+}
+
+// incrState is the delta front shared by the fragments of one run:
+// input deltas seed it, and every completed fragment publishes its
+// output deltas for the fragments downstream. Fragments of one wave
+// read it concurrently while never racing a publish for a cube they
+// consume (a consumer is only scheduled after its producer's wave), so
+// the mutex alone is enough.
+type incrState struct {
+	mu       sync.Mutex
+	deltas   map[string]*model.CubeDelta
+	fullOnly map[string]bool
+	bases    map[string]*model.Cube
+}
+
+func newIncrState(p *IncrPlan) *incrState {
+	s := &incrState{
+		deltas:   make(map[string]*model.CubeDelta),
+		fullOnly: make(map[string]bool),
+		bases:    make(map[string]*model.Cube),
+	}
+	if p == nil {
+		return s
+	}
+	for name, d := range p.Deltas {
+		if d != nil && !d.Empty() {
+			s.deltas[name] = d
+		}
+	}
+	for name, v := range p.FullOnly {
+		if v {
+			s.fullOnly[name] = true
+		}
+	}
+	for name, c := range p.Bases {
+		if c != nil {
+			s.bases[name] = c
+		}
+	}
+	return s
+}
+
+// fragView is one fragment's consistent view of the delta front.
+type fragView struct {
+	deltas   map[string]*model.CubeDelta // changed fragment inputs
+	fullOnly map[string]bool             // fragment inputs changed without a delta
+	bases    map[string]*model.Cube      // previous outputs of the fragment's produces
+}
+
+func (s *incrState) view(f *fragment) *fragView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := &fragView{
+		deltas:   make(map[string]*model.CubeDelta),
+		fullOnly: make(map[string]bool),
+		bases:    make(map[string]*model.Cube),
+	}
+	for _, in := range f.inputs {
+		if s.fullOnly[in] {
+			v.fullOnly[in] = true
+		} else if d := s.deltas[in]; d != nil {
+			v.deltas[in] = d
+		}
+	}
+	for _, name := range f.produces {
+		if b := s.bases[name]; b != nil {
+			v.bases[name] = b
+		}
+	}
+	return v
+}
+
+// reuse returns the previous outputs verbatim, possible only when every
+// produced cube has a base.
+func (v *fragView) reuse(f *fragment) (map[string]*model.Cube, bool) {
+	out := make(map[string]*model.Cube, len(f.produces))
+	for _, name := range f.produces {
+		b := v.bases[name]
+		if b == nil {
+			return nil, false
+		}
+		out[name] = b
+	}
+	return out, true
+}
+
+// publish records the movement of a completed fragment's outputs.
+// outDeltas carries exact deltas when the target derived them (absent
+// entry: unchanged); nil means "not derived", and the outputs are
+// diffed against their bases here. A produced cube without a base
+// becomes FullOnly for its consumers.
+func (s *incrState) publish(f *fragment, out map[string]*model.Cube, outDeltas map[string]*model.CubeDelta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range f.produces {
+		cur := out[name]
+		base := s.bases[name]
+		if cur == nil || base == nil {
+			s.fullOnly[name] = true
+			continue
+		}
+		if cur == base { // reused untouched
+			continue
+		}
+		var d *model.CubeDelta
+		if outDeltas != nil {
+			d = outDeltas[name]
+		} else {
+			d = model.DiffCubes(name, base, cur)
+		}
+		if d != nil && !d.Empty() {
+			s.deltas[name] = d
+		}
+	}
+}
+
+// incrOutcome captures how the last attempt of a fragment ran; the
+// successful attempt's value lands in the fragment report.
+type incrOutcome struct {
+	incremental bool
+	fellBack    bool
+	reason      string
+	outDeltas   map[string]*model.CubeDelta
+}
+
+// runOnIncr is runOn under an incremental plan: it executes the
+// fragment against its delta view and publishes the movement of its
+// outputs for downstream fragments.
+func (f *fragment) runOnIncr(ctx context.Context, target ops.Target, snap map[string]*model.Cube,
+	st *incrState, oc *incrOutcome) (map[string]*model.Cube, error) {
+
+	*oc = incrOutcome{}
+	input := make(map[string]*model.Cube, len(f.inputs))
+	for _, in := range f.inputs {
+		c, ok := snap[in]
+		if !ok {
+			return nil, fmt.Errorf("dispatch: input cube %s not available for %s fragment", in, target)
+		}
+		input[in] = c
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v := st.view(f)
+
+	start := time.Now()
+	out, err := f.execOnIncr(ctx, target, input, v, oc)
+	if err != nil {
+		return nil, err
+	}
+	st.publish(f, out, oc.outDeltas)
+
+	met := obs.MetricsFrom(ctx)
+	met.Histogram(obs.Label(obs.MetricTargetLatency, "target", string(target))).ObserveDuration(time.Since(start))
+	if oc.fellBack {
+		met.Counter(obs.Label(obs.MetricIncrFellBack, "target", string(target))).Add(1)
+		return out, nil
+	}
+	met.Counter(obs.Label(obs.MetricIncrFragments, "target", string(target))).Add(1)
+	var din, full int
+	for name, d := range v.deltas {
+		din += d.Size()
+		if c := input[name]; c != nil {
+			full += c.Len()
+		}
+	}
+	met.Counter(obs.MetricIncrDeltaTuples).Add(int64(din))
+	met.Counter(obs.MetricIncrFullTuples).Add(int64(full))
+	if sp := obs.CurrentSpan(ctx); sp != nil {
+		sp.SetAttr(obs.Int("delta_tuples_in", din))
+	}
+	return out, nil
+}
+
+// execOnIncr executes the fragment incrementally on one target, falling
+// back to the target's full execution path when the shape cannot be
+// maintained.
+func (f *fragment) execOnIncr(ctx context.Context, target ops.Target, input map[string]*model.Cube,
+	v *fragView, oc *incrOutcome) (map[string]*model.Cube, error) {
+
+	derived := make(map[string]bool, len(f.produces))
+	for _, c := range f.produces {
+		derived[c] = true
+	}
+	keep := func(all map[string]*model.Cube) map[string]*model.Cube {
+		out := make(map[string]*model.Cube, len(f.produces))
+		for name, c := range all {
+			if derived[name] {
+				out[name] = c
+			}
+		}
+		return out
+	}
+
+	// Nothing this fragment reads moved and every output has a previous
+	// version: reuse them without running any target at all.
+	if len(v.deltas) == 0 && len(v.fullOnly) == 0 {
+		if out, ok := v.reuse(f); ok {
+			oc.incremental = true
+			oc.outDeltas = map[string]*model.CubeDelta{}
+			return out, nil
+		}
+	}
+
+	switch target {
+	case ops.TargetChase:
+		din := &chase.DeltaInput{Deltas: v.deltas, FullOnly: v.fullOnly, BaseOut: v.bases}
+		sol, od, stats, err := chase.New(f.m).SolveIncremental(ctx, chase.Instance(input), din)
+		if err != nil {
+			return nil, err
+		}
+		if stats.Full > 0 {
+			oc.fellBack = true
+			oc.reason = fmt.Sprintf("%d of %d tgds recomputed in full", stats.Full, stats.Tgds)
+		} else {
+			oc.incremental = true
+		}
+		oc.outDeltas = od
+		return keep(sol), nil
+
+	case ops.TargetSQL:
+		out, od, ok, err := f.execSQLIncr(ctx, input, v)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			oc.incremental = true
+			oc.outDeltas = od
+			return out, nil
+		}
+		oc.fellBack = true
+		oc.reason = "mapping not monotone over the changed relations"
+		return f.execOn(ctx, target, input, keep)
+
+	default:
+		// Frame and ETL evaluate whole relations; there is no delta entry
+		// point. Their outputs are still diffed at publish, so downstream
+		// fragments stay incremental.
+		oc.fellBack = true
+		oc.reason = fmt.Sprintf("target %s cannot maintain deltas", target)
+		return f.execOn(ctx, target, input, keep)
+	}
+}
+
+// execSQLIncr maintains the fragment with an INSERT-delta SQL script.
+// ok is false when the shape disqualifies it: a non-pure-insert delta,
+// a full-only input, a missing base, auxiliary relations (their previous
+// contents are not stored anywhere), or a non-monotone mapping.
+func (f *fragment) execSQLIncr(ctx context.Context, input map[string]*model.Cube,
+	v *fragView) (map[string]*model.Cube, map[string]*model.CubeDelta, bool, error) {
+
+	if len(v.fullOnly) > 0 {
+		return nil, nil, false, nil
+	}
+	changed := make(map[string]bool, len(v.deltas))
+	for name, d := range v.deltas {
+		if !d.PureInsert() {
+			return nil, nil, false, nil
+		}
+		changed[name] = true
+	}
+	produced := make(map[string]bool, len(f.produces))
+	for _, name := range f.produces {
+		if v.bases[name] == nil {
+			return nil, nil, false, nil
+		}
+		produced[name] = true
+	}
+	for _, t := range f.m.Tgds {
+		if !produced[t.Target()] {
+			return nil, nil, false, nil // auxiliary relation: no stored base
+		}
+	}
+
+	script, affected, err := sqlgen.TranslateDelta(f.m, changed)
+	if err != nil {
+		// Non-monotone (or otherwise untranslatable): full refresh.
+		return nil, nil, false, nil
+	}
+
+	db := sqlengine.NewDB()
+	for _, in := range f.inputs {
+		if err := db.LoadCube(input[in]); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	for _, name := range f.produces {
+		if err := db.LoadCube(v.bases[name]); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	for _, name := range sortedNames(changed) {
+		dc, err := sqlgen.DeltaCube(f.m.Schemas[name], v.deltas[name])
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if err := db.LoadCube(dc); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	if err := sqlgen.ExecuteContext(ctx, script, db); err != nil {
+		return nil, nil, false, err
+	}
+
+	affectedSet := make(map[string]bool, len(affected))
+	for _, name := range affected {
+		affectedSet[name] = true
+	}
+	out := make(map[string]*model.Cube, len(f.produces))
+	outDeltas := make(map[string]*model.CubeDelta, len(affected))
+	for _, name := range f.produces {
+		if !affectedSet[name] {
+			out[name] = v.bases[name]
+			continue
+		}
+		cur, err := db.ExtractCube(f.m.Schemas[name])
+		if err != nil {
+			return nil, nil, false, err
+		}
+		out[name] = cur
+		// The delta side table holds the inserted bindings; rows whose key
+		// already existed carry the same value (the chase's egd) and are
+		// not additions.
+		sch := f.m.Schemas[name]
+		sch.Name = sqlgen.DeltaTable(name)
+		dcube, err := db.ExtractCube(sch)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		base := v.bases[name]
+		od := &model.CubeDelta{Name: name, Base: base, Current: cur}
+		for _, tu := range dcube.Tuples() {
+			if _, had := base.Get(tu.Dims); !had {
+				od.Added = append(od.Added, tu)
+			}
+		}
+		outDeltas[name] = od
+	}
+	return out, outDeltas, true, nil
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -33,6 +33,14 @@ type FragmentReport struct {
 	// breaker was open, in the order they would have been tried.
 	SkippedOpen []ops.Target
 	Elapsed     time.Duration
+	// Incremental reports that the fragment ran under an incremental plan
+	// and was maintained from input deltas (or reused outright).
+	Incremental bool
+	// FellBackFull reports that the fragment ran under an incremental plan
+	// but recomputed in full; FallbackReason says why ("non-monotone
+	// delta", "no base output", "target cannot maintain deltas", …).
+	FellBackFull   bool
+	FallbackReason string
 }
 
 // Retries counts the same-target retry attempts of the fragment.
@@ -83,6 +91,11 @@ func (r *Report) String() string {
 			status = "FAILED"
 		} else if f.Degraded() {
 			status = fmt.Sprintf("%s (degraded from %s)", f.Final, f.Primary)
+		}
+		if f.Incremental {
+			status += " (incremental)"
+		} else if f.FellBackFull {
+			status += fmt.Sprintf(" (full: %s)", f.FallbackReason)
 		}
 		fmt.Fprintf(&b, "  fragment %d %v: planned %s, ran on %s, %d attempt(s), %v\n",
 			f.Index, f.Cubes, f.Primary, status, len(f.Attempts), f.Elapsed)

@@ -81,6 +81,11 @@ type Engine struct {
 	cache    *CompileCache
 	cacheSet bool // WithCompileCache was used (nil means "disable caching")
 
+	// memoMu guards memo, the per-derived-cube record of the input
+	// generations it was last computed at (incremental runs).
+	memoMu sync.Mutex
+	memo   map[string]*cubeMemo
+
 	storeClosed bool // Shutdown closed the store already
 }
 
@@ -464,16 +469,23 @@ type Report struct {
 	// MemDegraded reports that parallel dispatch was turned off for this
 	// run to fit the memory budget.
 	MemDegraded bool
+	// Incremental reports that the run was delta-driven (WithIncremental
+	// on a delta-capable store); Skipped lists the derived cubes it did
+	// not recompute because their memoized input generations were
+	// current.
+	Incremental bool
+	Skipped     []string
 	Elapsed     time.Duration
 }
 
 // runConfig collects the settings of one unified Run call.
 type runConfig struct {
-	changed []string
-	assign  determine.Assigner
-	asOf    time.Time
-	tracer  *obs.Tracer
-	metrics *obs.Registry
+	changed     []string
+	assign      determine.Assigner
+	asOf        time.Time
+	tracer      *obs.Tracer
+	metrics     *obs.Registry
+	incremental bool
 }
 
 // RunOption configures one Run call.
@@ -508,6 +520,17 @@ func RunTraced(t *obs.Tracer) RunOption {
 // call only) any engine-level WithMetrics.
 func RunMetered(m *obs.Registry) RunOption {
 	return func(c *runConfig) { c.metrics = m }
+}
+
+// WithIncremental makes the run delta-driven: derived cubes whose
+// memoized input generations are still current are skipped outright,
+// and the rest are recomputed from the deltas of their inputs where the
+// mapping shape permits, falling back to per-fragment full recomputes
+// where it does not. Results are byte-identical to a full run. Requires
+// a store implementing DeltaStore (the in-memory and durable stores
+// do); with any other store the option is ignored and the run is full.
+func WithIncremental() RunOption {
+	return func(c *runConfig) { c.incremental = true }
 }
 
 // Run executes a recalculation under the context: by default the full
@@ -552,7 +575,7 @@ func (e *Engine) Run(ctx context.Context, opts ...RunOption) (*Report, error) {
 	if cfg.changed != nil {
 		span.SetAttr(obs.Strings("changed", cfg.changed))
 	}
-	rep, err := e.run(ctx, cfg.changed, cfg.assign, cfg.asOf, ticket)
+	rep, err := e.run(ctx, &cfg, ticket)
 	met.Counter(obs.MetricRuns).Add(1)
 	if err != nil {
 		met.Counter(obs.MetricRunErrors).Add(1)
@@ -589,7 +612,8 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-func (e *Engine) run(ctx context.Context, changed []string, assign determine.Assigner, asOf time.Time, ticket *governor.Ticket) (*Report, error) {
+func (e *Engine) run(ctx context.Context, cfg *runConfig, ticket *governor.Ticket) (*Report, error) {
+	changed, assign, asOf := cfg.changed, cfg.assign, cfg.asOf
 	// Snapshot the engine state under the lock, then dispatch and persist
 	// outside it: the graph and mappings are immutable once built (a
 	// registration swaps whole pointers), the store synchronizes itself,
@@ -630,6 +654,45 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 			return nil, err
 		}
 	}
+
+	// The snapshot shares the store's frozen cube versions: taking it
+	// costs O(#cubes), not O(tuples), and the generation stamps which
+	// store state the run read. Incremental runs also read the per-cube
+	// generations the staleness walk and the delta queries run against.
+	ds, _ := st.(DeltaStore)
+	var snap map[string]*model.Cube
+	var gen uint64
+	var cubeGens map[string]uint64
+	if ds != nil {
+		snap, gen, cubeGens = ds.SnapshotWithGenerations()
+	} else {
+		snap, gen = st.SnapshotVersioned()
+	}
+
+	// Incremental mode: walk the dependency graph in plan order, keep
+	// only the stale cubes, and build the delta front the dispatcher
+	// maintains them from.
+	var incrPlan *dispatch.IncrPlan
+	var skippedCubes []string
+	incremental := cfg.incremental && ds != nil
+	if incremental {
+		plan, skippedCubes, incrPlan = e.pruneStale(graph, plan, snap, cubeGens, ds)
+		obs.MetricsFrom(ctx).Counter(obs.MetricIncrSkippedCubes).Add(int64(len(skippedCubes)))
+		detSpan.SetAttr(obs.Int("skipped", len(skippedCubes)))
+		if len(plan) == 0 {
+			// Everything is current: nothing to dispatch, nothing to persist.
+			detSpan.SetAttr(obs.Int("plan", 0))
+			detSpan.End()
+			return &Report{
+				Generation:  gen,
+				Queued:      ticket.Queued(),
+				Incremental: true,
+				Skipped:     skippedCubes,
+				Elapsed:     time.Since(start),
+			}, nil
+		}
+	}
+
 	var subs []determine.Subgraph
 	if disp.Parallel {
 		// Component-aware partitioning keeps independent programs in
@@ -642,10 +705,6 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	detSpan.SetAttr(obs.Int("subgraphs", len(subs)))
 	detSpan.End()
 
-	// The snapshot shares the store's frozen cube versions: taking it
-	// costs O(#cubes), not O(tuples), and the generation stamps which
-	// store state the run read.
-	snap, gen := st.SnapshotVersioned()
 	// Declared cubes without data yet behave as empty relations, so a
 	// program can be validated and run before all inputs have arrived.
 	// They are frozen like every other snapshot member: targets only read
@@ -675,7 +734,13 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 		}
 	}
 
-	results, drep, err := disp.RunContext(ctx, subs, tgds, schemas, snap)
+	var results map[string]*model.Cube
+	var drep *dispatch.Report
+	if incrPlan != nil {
+		results, drep, err = disp.RunContextIncr(ctx, subs, tgds, schemas, snap, incrPlan)
+	} else {
+		results, drep, err = disp.RunContext(ctx, subs, tgds, schemas, snap)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -697,19 +762,53 @@ func (e *Engine) run(ctx context.Context, changed []string, assign determine.Ass
 	// cube of the run becomes visible or none does, so a failed write
 	// never leaves the store with a half-applied run. The result cubes
 	// are owned exclusively by this run, so freezing them lets the store
-	// adopt them without another deep copy.
-	_, perSpan := obs.StartSpan(ctx, "persist", obs.Int("cubes", len(results)))
-	for _, c := range results {
+	// adopt them without another deep copy. Incremental runs drop the
+	// outputs that are the reused previous versions (same frozen cube):
+	// re-storing them would only churn version history and invalidate
+	// downstream memos for nothing.
+	toPersist := results
+	if incremental {
+		toPersist = make(map[string]*model.Cube, len(results))
+		for name, c := range results {
+			if snap[name] != c {
+				toPersist[name] = c
+			}
+		}
+	}
+	_, perSpan := obs.StartSpan(ctx, "persist", obs.Int("cubes", len(toPersist)))
+	for _, c := range toPersist {
 		c.Freeze()
 	}
-	if err := st.PutAll(results, asOf); err != nil {
+	commitGen := gen
+	if ds != nil {
+		g, err := ds.PutAllGen(toPersist, asOf)
+		if err != nil {
+			perSpan.EndErr(err)
+			return nil, err
+		}
+		commitGen = g
+	} else if err := st.PutAll(toPersist, asOf); err != nil {
 		perSpan.EndErr(err)
 		return nil, err
 	}
 	perSpan.End()
 
+	// Memoize the input generations this run's outputs were computed at,
+	// so the next incremental run knows what is stale. Full runs prime
+	// the memos too — an incremental run right after one skips everything
+	// untouched since.
+	if ds != nil {
+		persisted := make(map[string]bool, len(toPersist))
+		for name := range toPersist {
+			persisted[name] = true
+		}
+		e.updateMemos(graph, plan, cubeGens, commitGen, persisted)
+	}
+
 	rep := &Report{
 		Generation:  gen,
+		Incremental: incremental,
+		Skipped:     skippedCubes,
 		Fragments:   drep.Fragments,
 		Retries:     drep.Retries(),
 		Fallbacks:   drep.Fallbacks(),

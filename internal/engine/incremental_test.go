@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"exlengine/internal/model"
+	"exlengine/internal/ops"
+	"exlengine/internal/workload"
+)
+
+var gdpDerived = []string{"PQR", "RGDP", "GDP", "GDPT", "PCHNG"}
+
+// churn returns a new version of c with roughly 1% of its points
+// value-changed, a few deleted, and (optionally) a few appended at the
+// end of the series.
+func churn(t *testing.T, c *model.Cube, deletes bool) *model.Cube {
+	t.Helper()
+	out := c.Clone()
+	for i, tu := range c.Tuples() {
+		switch {
+		case i%97 == 13:
+			if err := out.Replace(tu.Dims, tu.Measure*1.01+0.01); err != nil {
+				t.Fatal(err)
+			}
+		case deletes && i%131 == 57:
+			out.Delete(tu.Dims)
+		}
+	}
+	return out
+}
+
+func exactEqual(t *testing.T, name string, want, got *model.Cube) {
+	t.Helper()
+	if d := model.DiffCubes(name, want, got); !d.Empty() {
+		t.Errorf("cube %s: incremental diverges from full (%d added, %d changed, %d deleted)",
+			name, len(d.Added), len(d.Changed), len(d.Deleted))
+	}
+}
+
+// TestWithIncrementalParity runs the same data sequence through a
+// full-recomputation engine and an incremental one and requires
+// byte-identical derived cubes after every step.
+func TestWithIncrementalParity(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 200, Regions: 3, Seed: 9})
+	full := newGDPEngine(t, data)
+	incr := newGDPEngine(t, data)
+	ctx := context.Background()
+	t0 := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+
+	if _, err := full.Run(ctx, RunAt(t0)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := incr.Run(ctx, RunAt(t0), WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incremental {
+		t.Fatalf("in-memory store must support incremental runs: %+v", rep)
+	}
+	for _, rel := range gdpDerived {
+		w, _ := full.Cube(rel)
+		g, _ := incr.Cube(rel)
+		exactEqual(t, rel, w, g)
+	}
+
+	// 1% churn on one leaf, including deletions.
+	t1 := t0.Add(24 * time.Hour)
+	next := churn(t, data["PDR"], true)
+	if err := full.PutCube(next, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := incr.PutCube(next.Clone(), t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(ctx, RunAt(t1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = incr.Run(ctx, RunAt(t1), WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incremental {
+		t.Fatalf("second run not incremental: %+v", rep)
+	}
+	for _, rel := range gdpDerived {
+		w, _ := full.Cube(rel)
+		g, _ := incr.Cube(rel)
+		exactEqual(t, rel, w, g)
+	}
+}
+
+// TestWithIncrementalSkipsCurrentCubes: a run with nothing changed
+// recomputes nothing at all.
+func TestWithIncrementalSkipsCurrentCubes(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 120, Regions: 2, Seed: 3})
+	e := newGDPEngine(t, data)
+	ctx := context.Background()
+	if _, err := e.Run(ctx, WithIncremental()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(ctx, WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Plan) != 0 || len(rep.Skipped) != len(gdpDerived) {
+		t.Errorf("no-change incremental run: plan=%v skipped=%v", rep.Plan, rep.Skipped)
+	}
+	if len(rep.Fragments) != 0 {
+		t.Errorf("no-change run dispatched %d fragments", len(rep.Fragments))
+	}
+}
+
+const chainProgram = `
+cube A(q: quarter) measure v
+
+B := A * 2
+C := B + A
+`
+
+func quarterCube(t *testing.T, n int) *model.Cube {
+	t.Helper()
+	sch := model.NewSchema("A", []model.Dim{{Name: "q", Type: model.TQuarter}}, "v")
+	c := model.NewCube(sch)
+	start := model.NewQuarterly(2018, 1)
+	for i := 0; i < n; i++ {
+		if err := c.Put([]model.Value{model.Per(start.Shift(int64(i)))}, float64(i)*1.25+3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func newChainEngine(t *testing.T, a *model.Cube) *Engine {
+	t.Helper()
+	e := New()
+	if err := e.RegisterProgram("chain", chainProgram); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PutCube(a, time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestWithIncrementalFragmentFlags: a tuple-level chase fragment with a
+// churned input is maintained incrementally, while a black-box fragment
+// (GDP's stl_t) falls back full with a recorded reason.
+func TestWithIncrementalFragmentFlags(t *testing.T) {
+	ctx := context.Background()
+	a := quarterCube(t, 40)
+	e := newChainEngine(t, a)
+	if _, err := e.Run(ctx, RunOn(ops.TargetChase)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PutCube(churn(t, a, false), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(ctx, RunOn(ops.TargetChase), WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Fragments) == 0 {
+		t.Fatalf("nothing dispatched: %+v", rep)
+	}
+	for _, fr := range rep.Fragments {
+		if !fr.Incremental || fr.FellBackFull {
+			t.Errorf("tuple-level fragment %v not maintained incrementally: %+v", fr.Cubes, fr)
+		}
+	}
+
+	// The GDP program's stl_t black box cannot be maintained: its
+	// fragment recomputes in full and says why.
+	data := workload.GDPSource(workload.GDPConfig{Days: 200, Regions: 2, Seed: 5})
+	g := newGDPEngine(t, data)
+	if _, err := g.Run(ctx, RunOn(ops.TargetChase)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutCube(churn(t, data["PDR"], false), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	grep, err := g.Run(ctx, RunOn(ops.TargetChase), WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fellBack := 0
+	for _, fr := range grep.Fragments {
+		if fr.FellBackFull {
+			fellBack++
+			if fr.FallbackReason == "" {
+				t.Errorf("fragment %v fell back without a reason", fr.Cubes)
+			}
+		}
+	}
+	if fellBack == 0 {
+		t.Errorf("the stl_t black box must force a full fragment: %+v", grep.Fragments)
+	}
+}
+
+// TestWithIncrementalSQLInsertDelta: a pure-insert churn on a monotone
+// mapping is maintained by INSERT-delta SQL, byte-identical to the full
+// SQL refresh.
+func TestWithIncrementalSQLInsertDelta(t *testing.T) {
+	ctx := context.Background()
+	a := quarterCube(t, 40)
+	grown := quarterCube(t, 44) // strict superset: 4 appended quarters
+
+	full := newChainEngine(t, a)
+	incr := newChainEngine(t, a)
+	t0 := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := full.Run(ctx, RunOn(ops.TargetSQL), RunAt(t0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incr.Run(ctx, RunOn(ops.TargetSQL), RunAt(t0), WithIncremental()); err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := t0.Add(24 * time.Hour)
+	if err := full.PutCube(grown, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := incr.PutCube(grown.Clone(), t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(ctx, RunOn(ops.TargetSQL), RunAt(t1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := incr.Run(ctx, RunOn(ops.TargetSQL), RunAt(t1), WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range rep.Fragments {
+		if !fr.Incremental || fr.FellBackFull {
+			t.Errorf("pure-insert SQL fragment %v not maintained by INSERT-delta: %+v", fr.Cubes, fr)
+		}
+	}
+	for _, rel := range []string{"B", "C"} {
+		w, _ := full.Cube(rel)
+		g, _ := incr.Cube(rel)
+		exactEqual(t, rel, w, g)
+	}
+}
+
+// TestWithIncrementalExternalWriteInvalidatesMemo: a cube version
+// written outside the run machinery is not trusted as a maintenance
+// base — the next incremental run recomputes it and converges on the
+// same values as a full run.
+func TestWithIncrementalExternalWriteInvalidatesMemo(t *testing.T) {
+	data := workload.GDPSource(workload.GDPConfig{Days: 120, Regions: 2, Seed: 7})
+	e := newGDPEngine(t, data)
+	ctx := context.Background()
+	if _, err := e.Run(ctx, WithIncremental()); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := e.Cube("GDP")
+
+	// Clobber GDP with a foreign version.
+	junk := churn(t, want, true)
+	if err := e.PutCube(junk, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(ctx, WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, skipped := range rep.Skipped {
+		if skipped == "GDP" {
+			t.Fatalf("externally written GDP must not be skipped: %+v", rep)
+		}
+	}
+	got, _ := e.Cube("GDP")
+	exactEqual(t, "GDP", want, got)
+}

@@ -103,8 +103,13 @@ type Governor struct {
 
 	// ewmaRun is the exponentially-weighted average run duration,
 	// updated at Release; the deadline-aware queue check multiplies it
-	// by the queue position to estimate wait.
-	ewmaRun time.Duration
+	// by the queue position to estimate wait. ewmaSamples counts the
+	// completed runs folded in: until it reaches ewmaMinSamples the
+	// estimate is considered cold and (absent an AvgRunHint) does not
+	// shed anybody — one unrepresentative first run must not start
+	// rejecting deadlines on its own.
+	ewmaRun     time.Duration
+	ewmaSamples int
 
 	metrics *obs.Registry
 	now     func() time.Time // injectable clock (tests)
@@ -166,12 +171,22 @@ func (g *Governor) maxQueue() int {
 // limited reports whether admission capacity is bounded.
 func (g *Governor) limited() bool { return g.cfg.MaxConcurrent > 0 }
 
+// ewmaMinSamples is how many completed runs the duration EWMA needs
+// before deadline shedding trusts it (unless AvgRunHint seeded it).
+const ewmaMinSamples = 3
+
 // estimatedWait predicts how long a new waiter at queue position pos
 // (0-based) will wait for a slot, from the EWMA run duration. Zero when
-// no estimate exists yet. Only called when capacity is bounded (queueing
-// cannot happen otherwise).
+// no estimate exists yet, or while the estimator is cold (fewer than
+// ewmaMinSamples runs observed and no operator hint) — a zero estimate
+// admits, so cold starts queue optimistically instead of shedding on
+// the evidence of a single run. Only called when capacity is bounded
+// (queueing cannot happen otherwise).
 func (g *Governor) estimatedWait(pos int) time.Duration {
 	if g.ewmaRun <= 0 {
+		return 0
+	}
+	if g.cfg.AvgRunHint <= 0 && g.ewmaSamples < ewmaMinSamples {
 		return 0
 	}
 	// Slots free at roughly capacity per ewmaRun; the waiter at position
@@ -318,6 +333,14 @@ func (t *Ticket) Release() {
 	g.metrics.Gauge(obs.MetricInFlight).Set(g.inflight)
 	// EWMA with alpha 1/4: responsive enough to track load shifts,
 	// smooth enough that one outlier does not flip deadline shedding.
+	// A negative hold (the injectable clock moved backwards, or system
+	// time was stepped) is clamped to zero rather than folded in — a
+	// negative average would silently disable wait estimation and could
+	// never be ruled out by the arithmetic below.
+	if held < 0 {
+		held = 0
+	}
+	g.ewmaSamples++
 	if g.ewmaRun == 0 {
 		g.ewmaRun = held
 	} else {

@@ -385,3 +385,95 @@ func TestAdmissionUnderContention(t *testing.T) {
 		t.Fatalf("admitted counter = %d, want 64", got)
 	}
 }
+
+// TestEWMAColdStartGuard: with no AvgRunHint, deadline shedding must not
+// trust the run-duration EWMA until ewmaMinSamples runs have completed.
+// One anomalously slow first run (e.g. cold caches) would otherwise shed
+// every deadline-bearing request that follows it.
+func TestEWMAColdStartGuard(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 8})
+	cur := time.Now()
+	g.now = func() time.Time { return cur }
+
+	// Two hour-long runs: the estimator has data, but is still cold
+	// (fewer than ewmaMinSamples), so a tight deadline must queue
+	// instead of being shed on the evidence of the slow starts.
+	for i := 0; i < 2; i++ {
+		tk, err := g.Admit(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = cur.Add(time.Hour)
+		tk.Release()
+	}
+	holder, err := g.Admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deadline anchored to the (advanced) fake clock: far in the real
+	// future, so the context itself never fires during the test, but
+	// hopeless if the 1h EWMA were trusted.
+	ctx, cancel := context.WithDeadline(context.Background(), cur.Add(50*time.Millisecond))
+	done := make(chan error, 1)
+	go func() {
+		tk, err := g.Admit(ctx, 1)
+		if err == nil {
+			tk.Release()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return queueLen(g) == 1 }) // queued, not shed
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cold-estimator waiter: err = %v, want context.Canceled (queued)", err)
+	}
+
+	// The third completed run warms the estimator; the same tight
+	// deadline is now shed immediately.
+	cur = cur.Add(time.Hour)
+	holder.Release()
+	holder2, err := g.Admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder2.Release()
+	ctx2, cancel2 := context.WithDeadline(context.Background(), cur.Add(50*time.Millisecond))
+	defer cancel2()
+	if _, err := g.Admit(ctx2, 1); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("warm-estimator waiter: err = %v, want ErrDeadline", err)
+	}
+}
+
+// TestEWMANegativeHeldClamped: a run whose hold duration comes out
+// negative (system clock stepped backwards mid-run) must not be folded
+// into the EWMA as-is — a negative average would silently disable wait
+// estimation. It is clamped to zero and counted as a sample.
+func TestEWMANegativeHeldClamped(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 8})
+	cur := time.Now()
+	g.now = func() time.Time { return cur }
+
+	tk, err := g.Admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur = cur.Add(time.Minute)
+	tk.Release() // ewmaRun = 1m
+
+	tk2, err := g.Admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur = cur.Add(-time.Hour) // clock stepped backwards mid-run
+	tk2.Release()
+
+	g.lock()
+	ewma, samples := g.ewmaRun, g.ewmaSamples
+	g.unlock()
+	if samples != 2 {
+		t.Fatalf("ewmaSamples = %d, want 2 (clamped run still counts)", samples)
+	}
+	if want := time.Minute - time.Minute/4; ewma != want {
+		t.Fatalf("ewmaRun = %v, want %v (negative hold folded as zero)", ewma, want)
+	}
+}

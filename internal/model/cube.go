@@ -3,6 +3,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -38,6 +39,11 @@ type Cube struct {
 	// memEst caches MemEstimate once the cube is frozen (0 = uncached);
 	// frozen cubes are shared across goroutines, so the cache is atomic.
 	memEst atomic.Int64
+	// sorted caches the Tuples() sort order (nil = uncached). Mutating
+	// methods clear it before touching rows, so a stale cache can never
+	// be observed; the pointer is atomic because frozen cubes are read
+	// from many goroutines at once.
+	sorted atomic.Pointer[[]Tuple]
 }
 
 // NewCube returns an empty cube instance for the schema.
@@ -82,6 +88,7 @@ func (c *Cube) Put(dims []Value, measure float64) error {
 	}
 	d := make([]Value, len(dims))
 	copy(d, dims)
+	c.sorted.Store(nil)
 	c.rows[key] = Tuple{Dims: d, Measure: measure}
 	return nil
 }
@@ -98,6 +105,7 @@ func (c *Cube) Replace(dims []Value, measure float64) error {
 	}
 	d := make([]Value, len(dims))
 	copy(d, dims)
+	c.sorted.Store(nil)
 	c.rows[EncodeKey(dims)] = Tuple{Dims: d, Measure: measure}
 	return nil
 }
@@ -120,19 +128,31 @@ func (c *Cube) Delete(dims []Value) bool {
 	}
 	key := EncodeKey(dims)
 	_, ok := c.rows[key]
+	c.sorted.Store(nil)
 	delete(c.rows, key)
 	return ok
 }
 
 // Tuples returns all tuples sorted by dimension values. Sorting gives every
 // engine the same deterministic iteration order, which keeps generated
-// artifacts and test expectations stable.
+// artifacts and test expectations stable. The sort order is cached until
+// the next mutation, so repeated scans of the same version (the common
+// case for frozen store cubes) cost a copy, not a sort; the returned
+// slice is always the caller's to mutate.
 func (c *Cube) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(c.rows))
-	for _, t := range c.rows {
-		out = append(out, t)
+	if p := c.sorted.Load(); p != nil {
+		out := make([]Tuple, len(*p))
+		copy(out, *p)
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return compareDims(out[i].Dims, out[j].Dims) < 0 })
+	cached := make([]Tuple, 0, len(c.rows))
+	for _, t := range c.rows {
+		cached = append(cached, t)
+	}
+	sort.Slice(cached, func(i, j int) bool { return compareDims(cached[i].Dims, cached[j].Dims) < 0 })
+	c.sorted.Store(&cached)
+	out := make([]Tuple, len(cached))
+	copy(out, cached)
 	return out
 }
 
@@ -147,13 +167,16 @@ func (c *Cube) ForEach(fn func(Tuple) error) error {
 	return nil
 }
 
-// Clone returns a deep, mutable copy of the cube (frozen or not).
+// Clone returns a mutable copy of the cube (frozen or not). The row map
+// is copied wholesale; the Dims slices inside the tuples are shared with
+// the original. That sharing is safe because the cube never mutates a
+// stored Dims slice in place (Put and Replace copy their argument), and
+// it is the same sharing every Tuples()/ForEach caller already gets.
 func (c *Cube) Clone() *Cube {
 	out := NewCube(c.schema)
-	for k, t := range c.rows {
-		d := make([]Value, len(t.Dims))
-		copy(d, t.Dims)
-		out.rows[k] = Tuple{Dims: d, Measure: t.Measure}
+	out.rows = maps.Clone(c.rows)
+	if out.rows == nil {
+		out.rows = make(map[string]Tuple)
 	}
 	return out
 }

@@ -228,4 +228,20 @@ const (
 	// MetricSQLBatches counts columnar batches emitted by vectorized
 	// executor operators, labelled by operator kind.
 	MetricSQLBatches = "sql_operator_batches_total"
+	// MetricIncrFragments counts fragments maintained incrementally from
+	// input deltas, labelled by the target that ran them.
+	MetricIncrFragments = "dispatch_incremental_fragments_total"
+	// MetricIncrFellBack counts fragments that were asked to run
+	// incrementally but fell back to a full recompute, labelled by target.
+	MetricIncrFellBack = "dispatch_incremental_fellback_total"
+	// MetricIncrDeltaTuples counts input delta tuples propagated into
+	// incremental fragments — the data an incremental run actually moved.
+	MetricIncrDeltaTuples = "incremental_delta_tuples_total"
+	// MetricIncrFullTuples counts the full size of the changed input
+	// relations those deltas replaced; the ratio against
+	// MetricIncrDeltaTuples is the data-movement saving.
+	MetricIncrFullTuples = "incremental_full_tuples_total"
+	// MetricIncrSkippedCubes counts derived cubes skipped by incremental
+	// runs because their memoized input generations were current.
+	MetricIncrSkippedCubes = "engine_incremental_skipped_cubes_total"
 )

@@ -1,0 +1,142 @@
+// Delta translation: INSERT-delta maintenance scripts for monotone
+// mappings. When every tgd reachable from the changed relations is
+// tuple-level (no aggregation, black box or padded operator) and the
+// input deltas are pure insertions, the new output tuples are exactly
+// the bindings that use at least one inserted tuple — the semi-naive
+// rule ΔT = ⋃_i (R1 ⋈ … ⋈ ΔRi ⋈ … ⋈ Rn). Each such join renders as an
+// ordinary INSERT … SELECT against the already-loaded tables, with atom
+// i reading from the rel__delta side table; derived deltas cascade so a
+// downstream tgd joins against its operand's delta table.
+//
+// Non-monotone shapes — a changed aggregation would need its groups
+// rebuilt, a deletion would need retraction — are reported with
+// ErrNotMonotone, and the caller falls back to a full refresh.
+package sqlgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+)
+
+// ErrNotMonotone reports that the mapping cannot be maintained by
+// INSERT-delta SQL: a tgd affected by the changed relations is not
+// tuple-level, so inserted input tuples do not simply become inserted
+// output tuples.
+var ErrNotMonotone = errors.New("sqlgen: mapping is not monotone over the changed relations; full refresh required")
+
+// DeltaTable names the side table holding a relation's inserted tuples.
+func DeltaTable(rel string) string { return rel + "__delta" }
+
+// TranslateDelta renders the INSERT-delta maintenance script for a
+// mapping given the set of changed source relations. The caller must
+// load, before executing the script: the current (post-insert) version
+// of every elementary relation, the previous version of every derived
+// and auxiliary relation, and the inserted tuples of every changed
+// relation into a DeltaTable(rel) table (DeltaCube builds it; loading
+// creates the table, so the script's DDL covers only the derived delta
+// tables it introduces itself). After execution the tables of affected
+// targets hold the full new output. Affected reports which targets the
+// script maintains (everything else is untouched and current).
+func TranslateDelta(m *mapping.Mapping, changed map[string]bool) (*Script, []string, error) {
+	s := &Script{}
+	dirty := make(map[string]bool, len(changed))
+	for _, rel := range sortedSet(changed) {
+		if !changed[rel] {
+			continue
+		}
+		if _, ok := m.Schemas[rel]; !ok {
+			return nil, nil, fmt.Errorf("sqlgen: no schema for changed relation %s", rel)
+		}
+		dirty[rel] = true
+	}
+
+	var affected []string
+	for _, t := range m.Tgds {
+		var changedAtoms []int
+		for i, a := range t.Lhs {
+			if dirty[a.Rel] {
+				changedAtoms = append(changedAtoms, i)
+			}
+		}
+		if len(changedAtoms) == 0 {
+			continue
+		}
+		if t.Kind != mapping.TupleLevel && t.Kind != mapping.Copy {
+			return nil, nil, fmt.Errorf("%w (tgd %s is %s)", ErrNotMonotone, t.ID, t.Kind)
+		}
+		target := t.Target()
+		sch, ok := m.Schemas[target]
+		if !ok {
+			return nil, nil, fmt.Errorf("sqlgen: no schema for %s", target)
+		}
+		s.DDL = append(s.DDL, CreateTableSQL(renamed(sch, DeltaTable(target))))
+
+		// One delta join per changed atom position. A binding that uses
+		// inserted tuples in several positions is emitted once per such
+		// position; the rows are identical (the binding determines the
+		// output tuple), so the duplicates collapse at cube extraction.
+		var cols []string
+		for _, ci := range changedAtoms {
+			ci := ci
+			body, insertCols, err := joinSelectTables(t, m.Schemas, func(i int, rel string) string {
+				if i == ci {
+					return DeltaTable(rel)
+				}
+				return rel
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("sqlgen: tgd %s: %w", t.ID, err)
+			}
+			cols = insertCols
+			s.Steps = append(s.Steps, Step{
+				TgdID:  t.ID,
+				Target: DeltaTable(target),
+				SQL:    fmt.Sprintf("INSERT INTO %s(%s)\n%s", DeltaTable(target), strings.Join(insertCols, ", "), body),
+			})
+		}
+		// Fold the delta into the target so later tgds (and the final
+		// extraction) see the full new relation.
+		colList := strings.Join(cols, ", ")
+		s.Steps = append(s.Steps, Step{
+			TgdID:  t.ID,
+			Target: target,
+			SQL: fmt.Sprintf("INSERT INTO %s(%s)\nSELECT %s\nFROM %s",
+				target, colList, colList, DeltaTable(target)),
+		})
+		dirty[target] = true
+		affected = append(affected, target)
+	}
+	return s, affected, nil
+}
+
+// DeltaCube materializes a pure-insert delta as a cube named
+// DeltaTable(sch.Name) under the relation's schema, ready to be loaded
+// as the script's delta side table.
+func DeltaCube(sch model.Schema, d *model.CubeDelta) (*model.Cube, error) {
+	c := model.NewCube(renamed(sch, DeltaTable(sch.Name)))
+	for _, tu := range d.Added {
+		if err := c.Put(tu.Dims, tu.Measure); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func renamed(sch model.Schema, name string) model.Schema {
+	sch.Name = name
+	return sch
+}
+
+func sortedSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+package sqlgen
+
+import (
+	"errors"
+	"testing"
+
+	"exlengine/internal/exl"
+	"exlengine/internal/mapping"
+	"exlengine/internal/model"
+	"exlengine/internal/sqlengine"
+)
+
+func compileDelta(t *testing.T, src string) *mapping.Mapping {
+	t.Helper()
+	prog, err := exl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := exl.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Generate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func quarterCube(t *testing.T, name string, vals map[int]float64) *model.Cube {
+	t.Helper()
+	c := model.NewCube(model.NewSchema(name, []model.Dim{{Name: "q", Type: model.TQuarter}}, "v"))
+	start := model.NewQuarterly(2020, 1)
+	for off, v := range vals {
+		if err := c.Put([]model.Value{model.Per(start.Shift(int64(off)))}, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+const chainProgram = `
+cube A(q: quarter) measure v
+
+B := A * 2
+C := B + A
+D := shift(C, 1)
+`
+
+func runFull(t *testing.T, m *mapping.Mapping, a *model.Cube) map[string]*model.Cube {
+	t.Helper()
+	db := sqlengine.NewDB()
+	if err := db.LoadCube(a); err != nil {
+		t.Fatal(err)
+	}
+	script, err := Translate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Execute(script, db); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*model.Cube{}
+	for _, rel := range m.Derived {
+		c, err := db.ExtractCube(m.Schemas[rel])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[rel] = c
+	}
+	return out
+}
+
+// TestTranslateDeltaPureInsert maintains a tuple-level chain with
+// INSERT-delta SQL and requires the result to match a full refresh.
+func TestTranslateDeltaPureInsert(t *testing.T) {
+	m := compileDelta(t, chainProgram)
+
+	base := quarterCube(t, "A", map[int]float64{0: 1, 1: 2, 2: 3})
+	cur := base.Clone()
+	start := model.NewQuarterly(2020, 1)
+	if err := cur.Put([]model.Value{model.Per(start.Shift(3))}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Put([]model.Value{model.Per(start.Shift(4))}, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	baseOut := runFull(t, m, base)
+	want := runFull(t, m, cur)
+
+	delta := model.DiffCubes("A", base, cur)
+	if !delta.PureInsert() {
+		t.Fatalf("expected pure-insert delta")
+	}
+
+	script, affected, err := TranslateDelta(m, map[string]bool{"A": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) == 0 {
+		t.Fatalf("no affected targets")
+	}
+
+	db := sqlengine.NewDB()
+	if err := db.LoadCube(cur); err != nil { // current elementary
+		t.Fatal(err)
+	}
+	for _, rel := range m.Derived { // previous outputs
+		if err := db.LoadCube(baseOut[rel]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inserted tuples into the delta side table (loading creates it; the
+	// script's DDL only covers the derived delta tables).
+	dc, err := DeltaCube(m.Schemas["A"], delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadCube(dc); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Execute(script, db); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range m.Derived {
+		got, err := db.ExtractCube(m.Schemas[rel])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := model.DiffCubes(rel, want[rel], got); !d.Empty() {
+			t.Errorf("cube %s: delta maintenance diverges from full refresh (%d diffs)", rel, d.Size())
+		}
+	}
+}
+
+// TestTranslateDeltaRejectsAggregation pins the monotonicity condition:
+// an aggregation downstream of the changed relation cannot be maintained
+// by insertion.
+func TestTranslateDeltaRejectsAggregation(t *testing.T) {
+	m := compileDelta(t, `
+cube A(q: quarter, r: string) measure v
+
+S := sum(A, group by q)
+`)
+	_, _, err := TranslateDelta(m, map[string]bool{"A": true})
+	if !errors.Is(err, ErrNotMonotone) {
+		t.Fatalf("want ErrNotMonotone, got %v", err)
+	}
+}
+
+// TestTranslateDeltaUntouchedTgdsEmitNothing: tgds not reachable from
+// the change must not appear in the script.
+func TestTranslateDeltaUntouchedTgdsEmitNothing(t *testing.T) {
+	m := compileDelta(t, `
+cube A(q: quarter) measure v
+cube Z(q: quarter) measure w
+
+B := A * 2
+Y := Z + 1
+`)
+	script, affected, err := TranslateDelta(m, map[string]bool{"A": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 1 || affected[0] != "B" {
+		t.Fatalf("affected = %v, want [B]", affected)
+	}
+	for _, st := range script.Steps {
+		if st.Target == "Y" || st.Target == DeltaTable("Y") {
+			t.Errorf("untouched target Y appears in delta script: %s", st.SQL)
+		}
+	}
+}

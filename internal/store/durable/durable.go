@@ -433,6 +433,29 @@ func (d *Store) PutAll(cubes map[string]*model.Cube, asOf time.Time) error {
 	)
 }
 
+// PutAllGen is PutAll returning the durable commit generation the batch
+// was stamped with, read atomically with the apply (see
+// store.Store.PutAllGen).
+func (d *Store) PutAllGen(cubes map[string]*model.Cube, asOf time.Time) (uint64, error) {
+	if len(cubes) == 0 {
+		return d.Generation(), nil
+	}
+	var memGen uint64
+	err := d.commit(
+		func() error { return d.mem.CheckPutAll(cubes, asOf) },
+		func() []byte { return encodePutAll(cubes, asOf) },
+		func() error {
+			var err error
+			memGen, err = d.mem.PutAllGen(cubes, asOf)
+			return err
+		},
+	)
+	if err != nil {
+		return d.Generation(), err
+	}
+	return memGen + (d.genBase - d.memBase), nil
+}
+
 // Compact writes a segment snapshot of the current state, rotates to a
 // fresh WAL and prunes superseded files. Readers are unaffected; writers
 // wait.
@@ -525,6 +548,43 @@ func (d *Store) SnapshotVersioned() (map[string]*model.Cube, uint64) {
 // restarts from wherever recovery ended.
 func (d *Store) Generation() uint64 {
 	return d.genBase + (d.mem.Generation() - d.memBase)
+}
+
+// CubeGenerations returns the per-cube latest-version generations on the
+// durable generation axis. Versions recovered from disk carry replay
+// generations ≤ the generation at Open, preserving the invariant that an
+// unchanged generation implies an unchanged cube.
+func (d *Store) CubeGenerations() map[string]uint64 {
+	gens := d.mem.CubeGenerations()
+	for name, g := range gens {
+		gens[name] = g + (d.genBase - d.memBase)
+	}
+	return gens
+}
+
+// SnapshotWithGenerations is SnapshotVersioned plus the per-cube
+// generation map, on the durable generation axis.
+func (d *Store) SnapshotWithGenerations() (map[string]*model.Cube, uint64, map[string]uint64) {
+	snap, memGen, gens := d.mem.SnapshotWithGenerations()
+	for name, g := range gens {
+		gens[name] = g + (d.genBase - d.memBase)
+	}
+	return snap, memGen + (d.genBase - d.memBase), gens
+}
+
+// Delta returns the tuple-level changes to the cube since durable
+// generation sinceGen (see store.Store.Delta). Generations taken before
+// this process opened the store cannot be mapped onto the recovered
+// in-memory history — recovery renumbers commits during replay — so they
+// conservatively yield store.ErrDeltaUnavailable; in practice memoized
+// generation vectors die with the process anyway, so the first run after
+// a restart is always full.
+func (d *Store) Delta(name string, sinceGen uint64) (*model.CubeDelta, error) {
+	if sinceGen < d.genBase {
+		return nil, fmt.Errorf("%w (cube %s: generation %d predates recovery at %d)",
+			store.ErrDeltaUnavailable, name, sinceGen, d.genBase)
+	}
+	return d.mem.Delta(name, sinceGen-d.genBase+d.memBase)
 }
 
 // WALStats returns bytes appended to and fsyncs issued on the active

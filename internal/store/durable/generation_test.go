@@ -1,0 +1,69 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"exlengine/internal/store"
+)
+
+// TestReopenGenerationTranslation pins the durable generation axis
+// across a restart: the generation counter continues from where recovery
+// ended, a generation captured at shutdown translates to "unchanged"
+// after reopen, post-reopen writes diff correctly against it, and a
+// generation older than the recovery point is refused with
+// ErrDeltaUnavailable (recovery renumbers commits, so pre-recovery
+// generations cannot be mapped onto the replayed history).
+func TestReopenGenerationTranslation(t *testing.T) {
+	dir := t.TempDir()
+	t1 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	d := openT(t, dir)
+	if err := d.Put(yearCube(t, "A", map[int]float64{2020: 1}), t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(yearCube(t, "A", map[int]float64{2020: 1, 2021: 2}), t1.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	genAtClose := d.Generation()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openT(t, dir)
+	defer d2.Close()
+	if g := d2.Generation(); g != genAtClose {
+		t.Fatalf("generation after reopen = %d, want %d (must continue, not reset)", g, genAtClose)
+	}
+
+	// The shutdown-time generation saw the current state: empty delta.
+	d0, err := d2.Delta("A", genAtClose)
+	if err != nil {
+		t.Fatalf("delta at the shutdown generation: %v", err)
+	}
+	if !d0.Empty() {
+		t.Fatalf("delta at the shutdown generation is non-empty: +%d ~%d -%d", len(d0.Added), len(d0.Changed), len(d0.Deleted))
+	}
+
+	// A write after reopen must diff against the recovered history.
+	if err := d2.Put(yearCube(t, "A", map[int]float64{2020: 1, 2021: 7}), t1.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if g := d2.Generation(); g != genAtClose+1 {
+		t.Fatalf("generation after one post-reopen write = %d, want %d", g, genAtClose+1)
+	}
+	dd, err := d2.Delta("A", genAtClose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dd.Changed) != 1 || dd.Changed[0].Measure != 7 || len(dd.Added) != 0 || len(dd.Deleted) != 0 {
+		t.Errorf("post-reopen delta = +%d ~%d -%d, want exactly the 2021 change",
+			len(dd.Added), len(dd.Changed), len(dd.Deleted))
+	}
+
+	// Generations from before the recovery point are unmappable.
+	if _, err := d2.Delta("A", genAtClose-1); !errors.Is(err, store.ErrDeltaUnavailable) {
+		t.Errorf("pre-recovery generation: err = %v, want ErrDeltaUnavailable", err)
+	}
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"exlengine/internal/model"
+)
+
+// TestGetAsOfExactBoundary pins the inclusivity of version lookup: a
+// version stamped asOf=t is visible at exactly t, an instant earlier is
+// ErrNotFound, and between two versions the older one is served.
+func TestGetAsOfExactBoundary(t *testing.T) {
+	s := New()
+	t1 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	t2 := t1.Add(24 * time.Hour)
+	if err := s.Put(yearCube(t, "A", map[int]float64{2020: 1}), t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(yearCube(t, "A", map[int]float64{2020: 2}), t2); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(at time.Time) (float64, bool) {
+		c, ok := s.GetAsOf("A", at)
+		if !ok {
+			return 0, false
+		}
+		v, ok := c.Get([]model.Value{model.Per(model.NewAnnual(2020))})
+		if !ok {
+			t.Fatalf("version at %v lost its tuple", at)
+		}
+		return v, true
+	}
+
+	if _, ok := get(t1.Add(-time.Nanosecond)); ok {
+		t.Error("an instant before the first version must be not-found")
+	}
+	if v, ok := get(t1); !ok || v != 1 {
+		t.Errorf("at exactly t1: got (%v,%v), want (1,true) — boundary is inclusive", v, ok)
+	}
+	if v, ok := get(t2.Add(-time.Nanosecond)); !ok || v != 1 {
+		t.Errorf("just before t2: got (%v,%v), want the t1 version", v, ok)
+	}
+	if v, ok := get(t2); !ok || v != 2 {
+		t.Errorf("at exactly t2: got (%v,%v), want (2,true)", v, ok)
+	}
+	if _, err := s.FetchAsOf("A", t1.Add(-time.Hour)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("FetchAsOf before first version: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestDeltaSinceGeneration exercises Store.Delta against a real version
+// history: exact tuple-level changes since an older generation, an empty
+// delta at the current generation, and an empty-to-empty delta for a
+// declared cube with no stored version.
+func TestDeltaSinceGeneration(t *testing.T) {
+	s := New()
+	t1 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := s.Put(yearCube(t, "A", map[int]float64{2020: 1, 2021: 2}), t1); err != nil {
+		t.Fatal(err)
+	}
+	g1 := s.Generation()
+	if err := s.Put(yearCube(t, "A", map[int]float64{2021: 2, 2022: 9}), t1.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := s.Delta("A", g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 || d.Added[0].Measure != 9 {
+		t.Errorf("Added = %v, want the single 2022->9 tuple", d.Added)
+	}
+	if len(d.Deleted) != 1 || d.Deleted[0].Measure != 1 {
+		t.Errorf("Deleted = %v, want the single 2020->1 tuple", d.Deleted)
+	}
+	if len(d.Changed) != 0 {
+		t.Errorf("Changed = %v, want none (2021 kept its value)", d.Changed)
+	}
+
+	if d, err = s.Delta("A", s.Generation()); err != nil || !d.Empty() {
+		t.Errorf("delta at current generation: (%v, %v), want empty", d, err)
+	}
+	if _, err := s.Delta("NOPE", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("undeclared cube: err = %v, want ErrNotFound", err)
+	}
+	if err := s.Declare(yearSchema("B")); err != nil {
+		t.Fatal(err)
+	}
+	if d, err = s.Delta("B", 0); err != nil || !d.Empty() {
+		t.Errorf("declared-but-never-stored cube: (%v, %v), want empty delta", d, err)
+	}
+}
+
+// TestDeltaOverwriteUnavailable: an equal-asOf overwrite destroys the
+// version a pre-overwrite snapshot observed, so Delta from such a
+// generation must refuse with ErrDeltaUnavailable rather than hand back
+// a diff against the wrong base. Generations at or after the overwrite
+// keep working.
+func TestDeltaOverwriteUnavailable(t *testing.T) {
+	s := New()
+	t1 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := s.Put(yearCube(t, "A", map[int]float64{2020: 1}), t1); err != nil {
+		t.Fatal(err)
+	}
+	g1 := s.Generation()
+	// Same asOf: last write wins and replaces the g1 version in place.
+	if err := s.Put(yearCube(t, "A", map[int]float64{2020: 5}), t1); err != nil {
+		t.Fatal(err)
+	}
+	g2 := s.Generation()
+	if err := s.Put(yearCube(t, "A", map[int]float64{2020: 5, 2021: 6}), t1.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Delta("A", g1); !errors.Is(err, ErrDeltaUnavailable) {
+		t.Errorf("delta across an overwrite: err = %v, want ErrDeltaUnavailable", err)
+	}
+	d, err := s.Delta("A", g2)
+	if err != nil {
+		t.Fatalf("delta from the post-overwrite generation must work: %v", err)
+	}
+	if len(d.Added) != 1 || len(d.Changed) != 0 || len(d.Deleted) != 0 {
+		t.Errorf("delta since g2 = +%d ~%d -%d, want exactly one addition", len(d.Added), len(d.Changed), len(d.Deleted))
+	}
+}

@@ -34,6 +34,14 @@ var ErrNotFound = errors.New("store: cube not found")
 // ErrStaleVersion) works; the write is retryable with a fresher stamp.
 var ErrStaleVersion = errors.New("older than the latest")
 
+// ErrDeltaUnavailable reports that the store cannot reconstruct the
+// cube's state at the requested generation, so no sound delta exists and
+// the caller must fall back to a full recompute. This happens after an
+// equal-asOf overwrite: the replaced version vanishes from the history
+// (last write wins), and diffing against an older surviving base could
+// silently miss changes the caller's snapshot actually observed.
+var ErrDeltaUnavailable = errors.New("store: delta unavailable for requested generation; full recompute required")
+
 // Store is a versioned, concurrency-safe cube repository.
 //
 // Stored cube versions are frozen (model.Cube.Freeze) at write time, so
@@ -50,18 +58,29 @@ type Store struct {
 	// snapshots can be versioned: two snapshots with equal generation are
 	// guaranteed identical.
 	gen uint64
+	// overwriteGen records, per cube, the commit generation of the most
+	// recent equal-asOf overwrite (a version replaced in place by
+	// appendVersion). A reader whose snapshot predates that overwrite may
+	// have seen the replaced — now vanished — version, so Delta refuses to
+	// serve generations older than this watermark.
+	overwriteGen map[string]uint64
 }
 
 type version struct {
 	asOf time.Time
 	cube *model.Cube
+	// gen is the commit generation that produced this version; versions of
+	// a cube carry strictly increasing generations, so "the version visible
+	// at generation g" is the newest one with gen <= g.
+	gen uint64
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		cubes:   make(map[string][]version),
-		schemas: make(map[string]model.Schema),
+		cubes:        make(map[string][]version),
+		schemas:      make(map[string]model.Schema),
+		overwriteGen: make(map[string]uint64),
 	}
 }
 
@@ -113,14 +132,29 @@ func frozenCopy(c *model.Cube) *model.Cube {
 
 // appendVersion adds a frozen version to a cube's history, replacing the
 // latest entry when asOf is exactly equal (last write wins) so GetAsOf
-// never sees two versions at the same instant. The caller validated
-// ordering and holds the write lock.
-func appendVersion(vs []version, v version) []version {
+// never sees two versions at the same instant; replaced reports whether
+// that happened. The caller validated ordering and holds the write lock.
+func appendVersion(vs []version, v version) (_ []version, replaced bool) {
 	if n := len(vs); n > 0 && vs[n-1].asOf.Equal(v.asOf) {
 		vs[n-1] = v
-		return vs
+		return vs, true
 	}
-	return append(vs, v)
+	return append(vs, v), false
+}
+
+// putLocked commits one already-validated cube version under the write
+// lock, stamping it with commit generation g and updating the overwrite
+// watermark when the write replaced an equal-asOf version.
+func (s *Store) putLocked(c *model.Cube, asOf time.Time, g uint64) {
+	name := c.Schema().Name
+	if _, ok := s.schemas[name]; !ok {
+		s.schemas[name] = c.Schema()
+	}
+	vs, replaced := appendVersion(s.cubes[name], version{asOf: asOf, cube: frozenCopy(c), gen: g})
+	s.cubes[name] = vs
+	if replaced {
+		s.overwriteGen[name] = g
+	}
 }
 
 // checkPut validates one cube write (schema compatibility and version
@@ -182,12 +216,8 @@ func (s *Store) Put(c *model.Cube, asOf time.Time) error {
 	if err := s.checkPut(c, asOf); err != nil {
 		return err
 	}
-	name := c.Schema().Name
-	if _, ok := s.schemas[name]; !ok {
-		s.schemas[name] = c.Schema()
-	}
-	s.cubes[name] = appendVersion(s.cubes[name], version{asOf: asOf, cube: frozenCopy(c)})
 	s.gen++
+	s.putLocked(c, asOf, s.gen)
 	return nil
 }
 
@@ -197,27 +227,35 @@ func (s *Store) Put(c *model.Cube, asOf time.Time) error {
 // the store exactly as it was — the snapshot-isolation guarantee the
 // dispatcher relies on when a run partially fails.
 func (s *Store) PutAll(cubes map[string]*model.Cube, asOf time.Time) error {
+	_, err := s.PutAllGen(cubes, asOf)
+	return err
+}
+
+// PutAllGen is PutAll returning the commit generation the batch was
+// stamped with (the store generation after the write). Callers that
+// memoize "computed at generation g" need the two read atomically — a
+// PutAll followed by Generation() can observe a concurrent writer's
+// bump. An empty batch commits nothing and returns the current
+// generation.
+func (s *Store) PutAllGen(cubes map[string]*model.Cube, asOf time.Time) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	names := sortedNames(cubes)
 	// Validate everything first.
 	for _, name := range names {
 		if err := s.checkPut(cubes[name], asOf); err != nil {
-			return err
+			return s.gen, err
 		}
+	}
+	if len(names) == 0 {
+		return s.gen, nil
 	}
 	// Commit.
+	s.gen++
 	for _, name := range names {
-		c := cubes[name]
-		if _, ok := s.schemas[name]; !ok {
-			s.schemas[name] = c.Schema()
-		}
-		s.cubes[name] = appendVersion(s.cubes[name], version{asOf: asOf, cube: frozenCopy(c)})
+		s.putLocked(cubes[name], asOf, s.gen)
 	}
-	if len(names) > 0 {
-		s.gen++
-	}
-	return nil
+	return s.gen, nil
 }
 
 // Get returns the current (latest) version of the cube. The returned
@@ -348,6 +386,84 @@ func (s *Store) SnapshotVersioned() (map[string]*model.Cube, uint64) {
 	return out, s.gen
 }
 
+// CubeGenerations returns, per stored cube, the commit generation of its
+// latest version — the per-cube slice of the store's write generation.
+// A cube whose generation has not moved since a previous read is
+// guaranteed unchanged (versions are immutable once frozen).
+func (s *Store) CubeGenerations() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64, len(s.cubes))
+	for name, vs := range s.cubes {
+		if len(vs) > 0 {
+			out[name] = vs[len(vs)-1].gen
+		}
+	}
+	return out
+}
+
+// SnapshotWithGenerations is SnapshotVersioned plus the per-cube
+// generation map, all read atomically under one lock acquisition — the
+// view an incremental run pins itself to.
+func (s *Store) SnapshotWithGenerations() (map[string]*model.Cube, uint64, map[string]uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := make(map[string]*model.Cube, len(s.cubes))
+	gens := make(map[string]uint64, len(s.cubes))
+	for name, vs := range s.cubes {
+		if len(vs) > 0 {
+			snap[name] = vs[len(vs)-1].cube
+			gens[name] = vs[len(vs)-1].gen
+		}
+	}
+	return snap, s.gen, gens
+}
+
+// Delta returns the tuple-level changes to the cube between the version
+// visible at store generation sinceGen and the current version: tuples
+// added, changed and deleted, with both endpoint cubes shared by
+// reference (zero-copy on the unchanged side).
+//
+// If the cube is unchanged since sinceGen the delta is empty. If an
+// equal-asOf overwrite has replaced a version after sinceGen, the state
+// the caller observed is no longer reconstructable and Delta returns
+// ErrDeltaUnavailable — the caller must recompute in full. A cube with
+// no stored version yields an empty delta between empty cubes.
+func (s *Store) Delta(name string, sinceGen uint64) (*model.CubeDelta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.cubes[name]
+	if len(vs) == 0 {
+		sch, ok := s.schemas[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		empty := model.NewCube(sch).Freeze()
+		return &model.CubeDelta{Name: name, Base: empty, Current: empty}, nil
+	}
+	cur := vs[len(vs)-1]
+	if cur.gen <= sinceGen {
+		// Unchanged since the caller's snapshot: nothing to propagate. The
+		// overwrite watermark is irrelevant here — the caller saw this very
+		// version (or an even newer state of the world that still had it).
+		return &model.CubeDelta{Name: name, Base: cur.cube, Current: cur.cube}, nil
+	}
+	if s.overwriteGen[name] > sinceGen {
+		return nil, fmt.Errorf("%w (cube %s: overwritten at generation %d, requested %d)",
+			ErrDeltaUnavailable, name, s.overwriteGen[name], sinceGen)
+	}
+	// Newest surviving version with gen <= sinceGen; generations are
+	// strictly increasing within a cube's history.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].gen > sinceGen })
+	var base *model.Cube
+	if i == 0 {
+		base = model.NewCube(cur.cube.Schema()).Freeze()
+	} else {
+		base = vs[i-1].cube
+	}
+	return model.DiffCubes(name, base, cur.cube), nil
+}
+
 // WriteCSV exports a cube: a header of dimension names plus the measure,
 // then one row per tuple in deterministic order.
 //
@@ -356,18 +472,27 @@ func (s *Store) SnapshotVersioned() (map[string]*model.Cube, uint64) {
 // tuples rather than sentinel floats, and a NaN that slipped into a cube
 // would otherwise round-trip through text ("NaN" parses back) and poison
 // later comparisons, where NaN != NaN hides the corruption.
+//
+// The whole cube is validated before the first byte is written: callers
+// stream WriteCSV straight into HTTP response bodies, and a mid-stream
+// rejection there would arrive after a 200 status and half a body — a
+// torn response the client cannot distinguish from success. Validation
+// failure must happen while the caller can still choose an error path.
 func WriteCSV(w io.Writer, c *model.Cube) error {
-	cw := csv.NewWriter(w)
 	sch := c.Schema()
-	header := append(append([]string(nil), sch.DimNames()...), sch.Measure)
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, tu := range c.Tuples() {
+	tuples := c.Tuples()
+	for _, tu := range tuples {
 		if math.IsNaN(tu.Measure) || math.IsInf(tu.Measure, 0) {
 			return fmt.Errorf("store: cube %s has non-finite measure %v at %v; undefined points must be absent tuples, not NaN/Inf",
 				sch.Name, tu.Measure, tu.Dims)
 		}
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), sch.DimNames()...), sch.Measure)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, tu := range tuples {
 		rec := make([]string, 0, len(header))
 		for _, d := range tu.Dims {
 			rec = append(rec, d.String())

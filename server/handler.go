@@ -344,6 +344,11 @@ type runRequest struct {
 	AsOf string `json:"as_of,omitempty"`
 	// Async returns 202 + run ID immediately; poll GET /v1/runs/{id}.
 	Async bool `json:"async,omitempty"`
+	// Incremental asks for delta-driven recomputation: only cubes whose
+	// memoized input generations are stale are recomputed, from store
+	// deltas where possible. Byte-identical to a full run; ignored when
+	// the tenant store cannot serve deltas.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, sess *session) {
@@ -357,6 +362,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, sess *session
 	var opts []engine.RunOption
 	if len(req.Changed) > 0 {
 		opts = append(opts, engine.RunChanged(req.Changed...))
+	}
+	if req.Incremental || s.cfg.Incremental {
+		opts = append(opts, engine.WithIncremental())
 	}
 	release := func() {}
 	if req.AsOf != "" {

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"exlengine/internal/model"
+)
+
+// TestRunIncrementalHTTP drives the "incremental": true run option end
+// to end: an incremental tenant must serve byte-identical derived CSV to
+// a full-recomputation tenant across a data update.
+func TestRunIncrementalHTTP(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	fullSid := setupTenant(t, base, "full", 1, 6)
+	incrSid := setupTenant(t, base, "incr", 1, 6)
+
+	runOK := func(sid string, body map[string]any) {
+		t.Helper()
+		if status, out := postJSON(t, base+"/v1/run", sid, body); status != http.StatusOK {
+			t.Fatalf("run: status %d (%v)", status, out)
+		}
+	}
+	getOut := func(sid string) string {
+		t.Helper()
+		status, b := doReq(t, http.MethodGet, base+"/v1/cubes/OUT", sid, "", nil)
+		if status != http.StatusOK {
+			t.Fatalf("get OUT: status %d (%s)", status, b)
+		}
+		return string(b)
+	}
+
+	at0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC).Format(time.RFC3339)
+	runOK(fullSid, map[string]any{"as_of": at0})
+	runOK(incrSid, map[string]any{"as_of": at0, "incremental": true})
+	if w, g := getOut(fullSid), getOut(incrSid); w != g {
+		t.Fatalf("initial incremental OUT differs from full:\n%s\nvs\n%s", w, g)
+	}
+
+	// Update SRC (every value changes, two rows appended) and re-run.
+	next := testCSV(t, 3, 8)
+	for _, sid := range []string{fullSid, incrSid} {
+		if status, b := doReq(t, http.MethodPut, base+"/v1/cubes/SRC", sid, "text/csv", next); status != http.StatusOK {
+			t.Fatalf("put SRC v2: status %d (%s)", status, b)
+		}
+	}
+	at1 := time.Date(2024, 1, 2, 0, 0, 0, 0, time.UTC).Format(time.RFC3339)
+	runOK(fullSid, map[string]any{"as_of": at1})
+	runOK(incrSid, map[string]any{"as_of": at1, "incremental": true})
+	if w, g := getOut(fullSid), getOut(incrSid); w != g {
+		t.Fatalf("post-update incremental OUT differs from full:\n%s\nvs\n%s", w, g)
+	}
+}
+
+// TestGetCubeNonFiniteNoTorn200 pins the store/CSV boundary fix: a cube
+// version holding a non-finite measure must produce a clean error
+// response, never a 200 whose CSV body breaks off mid-stream.
+func TestGetCubeNonFiniteNoTorn200(t *testing.T) {
+	srv, base := newTestServer(t, Config{})
+	sid := setupTenant(t, base, "t1", 1, 4)
+
+	// Poison SRC with a NaN version through the engine, below the HTTP
+	// surface — exactly what a buggy producer or a NaN-yielding
+	// computation would do.
+	tnt, err := srv.tenants.acquire("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.tenants.release(tnt, 10*time.Second); err != nil {
+			t.Errorf("release: %v", err)
+		}
+	}()
+	sch := model.NewSchema("SRC", []model.Dim{{Name: "t", Type: model.TMonth}}, "v")
+	bad := model.NewCube(sch)
+	for i := 0; i < 4; i++ {
+		v := float64(i)
+		if i == 2 {
+			v = math.NaN()
+		}
+		p := model.NewMonthly(2020, time.January).Shift(int64(i))
+		if err := bad.Put([]model.Value{model.Per(p)}, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tnt.eng.PutCube(bad, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := doReq(t, http.MethodGet, base+"/v1/cubes/SRC", sid, "", nil)
+	if status == http.StatusOK {
+		t.Fatalf("non-finite cube served with status 200; body:\n%s", body)
+	}
+	if !strings.Contains(string(body), "non-finite") {
+		t.Errorf("error body does not name the non-finite measure: %s", body)
+	}
+}

@@ -57,6 +57,10 @@ type Config struct {
 	// MaxFinishedRuns bounds the completed tail of the run list kept for
 	// GET /v1/runs/{id}. Defaults to 512.
 	MaxFinishedRuns int
+	// Incremental makes every run delta-driven by default (as if each
+	// request set "incremental": true): only stale cubes recompute, from
+	// store deltas where possible, byte-identical to a full run.
+	Incremental bool
 	// Auth authorizes session creation. Defaults to AllowAll.
 	Auth Authenticator
 	// Metrics receives server-level metrics (sessions, tenants, HTTP).
